@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "0.001", "-failed-scale", "0.02", "-run", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-run", "tableXX", "-scale", "0.001", "-failed-scale", "0.02"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command gendata generates a synthetic SMART dataset to CSV (the format
+// read back by cmd/hddpred and internal/trace).
+//
+// Usage:
+//
+//	gendata [-scale 0.01] [-failed-scale 0.1] [-seed 1] [-family W|Q|all] [-o traces.csv]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hddcart/internal/simulate"
+	"hddcart/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.01, "good-drive population scale (1 = paper's dataset)")
+	failedScale := fs.Float64("failed-scale", 0.1, "failed-drive population scale")
+	seed := fs.Int64("seed", 1, "fleet seed")
+	family := fs.String("family", "all", "drive family to emit: W, Q or all")
+	out := fs.String("o", "-", "output file (- = stdout)")
+	familiesPath := fs.String("families", "", "JSON file with custom simulate.FamilyParams (see -dump-families)")
+	dumpFamilies := fs.String("dump-families", "", "write the default family parameters to this JSON file and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dumpFamilies != "" {
+		defaults := []simulate.FamilyParams{simulate.FamilyW(), simulate.FamilyQ()}
+		data, err := json.MarshalIndent(defaults, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*dumpFamilies, data, 0o644)
+	}
+
+	cfg := simulate.Config{Seed: *seed, GoodScale: *scale, FailedScale: *failedScale}
+	if *familiesPath != "" {
+		data, err := os.ReadFile(*familiesPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg.Families); err != nil {
+			return fmt.Errorf("parse %s: %w", *familiesPath, err)
+		}
+	}
+	fleet, err := simulate.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		w = bw
+	}
+	tw := trace.NewWriter(w)
+	drives := 0
+	for _, d := range fleet.Drives() {
+		if *family != "all" && d.Family != *family {
+			continue
+		}
+		meta := trace.DriveMeta{
+			Serial: d.Serial, Family: d.Family,
+			Failed: d.Failed, FailHour: d.FailHour,
+		}
+		if err := tw.WriteDrive(meta, fleet.Trace(d.Index)); err != nil {
+			return err
+		}
+		drives++
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gendata: wrote %d drives\n", drives)
+	return nil
+}

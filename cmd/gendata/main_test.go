@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hddcart/internal/trace"
+)
+
+func TestGendataWritesReadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	err := run([]string{"-scale", "0.0005", "-failed-scale", "0.02", "-seed", "3", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drives, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drives) < 10 {
+		t.Fatalf("only %d drives written", len(drives))
+	}
+	var goodSeen, failedSeen bool
+	for _, d := range drives {
+		if d.Meta.Failed {
+			failedSeen = true
+			if d.Meta.FailHour <= 0 {
+				t.Errorf("failed drive %s without fail hour", d.Meta.Serial)
+			}
+		} else {
+			goodSeen = true
+		}
+		if len(d.Records) == 0 {
+			t.Errorf("drive %s has no records", d.Meta.Serial)
+		}
+	}
+	if !goodSeen || !failedSeen {
+		t.Error("output missing a drive class")
+	}
+}
+
+func TestGendataFamilyFilter(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "q.csv")
+	if err := run([]string{"-scale", "0.002", "-failed-scale", "0.05", "-family", "Q", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drives, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drives {
+		if d.Meta.Family != "Q" || !strings.HasPrefix(d.Meta.Serial, "Q-") {
+			t.Fatalf("family filter leaked drive %s (%s)", d.Meta.Serial, d.Meta.Family)
+		}
+	}
+}
+
+func TestGendataBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestDumpAndLoadFamilies(t *testing.T) {
+	dir := t.TempDir()
+	famPath := filepath.Join(dir, "fams.json")
+	if err := run([]string{"-dump-families", famPath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(famPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"Name\": \"W\"") {
+		t.Errorf("dumped families missing W: %s", raw[:100])
+	}
+	// Custom family file: shrink to a tiny single family and generate.
+	custom := strings.Replace(string(raw), `"GoodCount": 22790`, `"GoodCount": 5`, 1)
+	custom = strings.Replace(custom, `"FailedCount": 434`, `"FailedCount": 2`, 1)
+	if err := os.WriteFile(famPath, []byte(custom), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.csv")
+	if err := run([]string{"-families", famPath, "-family", "W", "-scale", "1", "-failed-scale", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drives, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drives) != 7 {
+		t.Errorf("custom family produced %d drives, want 7", len(drives))
+	}
+	// Broken families file errors out.
+	if err := os.WriteFile(famPath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-families", famPath, "-o", out}); err == nil {
+		t.Error("broken families JSON accepted")
+	}
+}

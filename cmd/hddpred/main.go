@@ -1,0 +1,418 @@
+// Command hddpred trains and applies hard-drive failure prediction models
+// on CSV SMART traces (as produced by cmd/gendata or converted from a real
+// SMART collector).
+//
+// Subcommands:
+//
+//	hddpred train    -data traces.csv -model ct|rt|ann -o model.json
+//	hddpred evaluate -data traces.csv -m model.json [-voters 11]
+//	hddpred predict  -data traces.csv -m model.json [-voters 11]
+//	hddpred inspect  -m model.json
+//
+// Training follows the paper's setup: a few random samples per good drive
+// from the earlier 70% of the observation window, failed-window samples of
+// a 70% drive split, failed class boosted to 20%, 10× false-alarm loss for
+// the CT model.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"hddcart/internal/ann"
+	"hddcart/internal/cart"
+	"hddcart/internal/dataset"
+	"hddcart/internal/detect"
+	"hddcart/internal/eval"
+	"hddcart/internal/featsel"
+	"hddcart/internal/health"
+	"hddcart/internal/smart"
+	"hddcart/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hddpred:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: hddpred <train|evaluate|predict|inspect> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return cmdTrain(args[1:])
+	case "evaluate":
+		return cmdEvaluate(args[1:])
+	case "predict":
+		return cmdPredict(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
+	case "featsel":
+		return cmdFeatsel(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// modelFile is the on-disk model envelope.
+type modelFile struct {
+	Type    string          `json:"type"` // "ct", "rt" or "ann"
+	Tree    *cart.Tree      `json:"tree,omitempty"`
+	Network json.RawMessage `json:"network,omitempty"`
+}
+
+// loadModel reads a model envelope and returns a predictor.
+func loadModel(path string) (detect.Predictor, *modelFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mf modelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, nil, fmt.Errorf("decode model: %w", err)
+	}
+	switch mf.Type {
+	case "ct", "rt":
+		if mf.Tree == nil {
+			return nil, nil, errors.New("model file missing tree")
+		}
+		return mf.Tree, &mf, nil
+	case "ann":
+		net, err := ann.Unmarshal(mf.Network)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, &mf, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model type %q", mf.Type)
+	}
+}
+
+// loadTraces reads every drive from a CSV file. format selects the native
+// trace layout ("hddcart") or Backblaze drive-stats snapshots
+// ("backblaze").
+func loadTraces(path, format string) ([]trace.DriveTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "", "hddcart":
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		return r.ReadAll()
+	case "backblaze":
+		return trace.ReadBackblaze(f, trace.BackblazeOptions{})
+	default:
+		return nil, fmt.Errorf("unknown data format %q (want hddcart or backblaze)", format)
+	}
+}
+
+// dataFlags registers the shared -data/-format flags.
+func dataFlags(fs *flag.FlagSet) (data, format *string) {
+	data = fs.String("data", "", "input CSV traces (required)")
+	format = fs.String("format", "hddcart", "input format: hddcart or backblaze")
+	return data, format
+}
+
+// cmdFeatsel runs the §IV-B statistical feature selection over a CSV
+// dataset and prints the ranking.
+func cmdFeatsel(args []string) error {
+	fs := flag.NewFlagSet("featsel", flag.ContinueOnError)
+	data, format := dataFlags(fs)
+	window := fs.Int("window", 168, "failed window (hours) defining failed samples")
+	interval := fs.Int("rate-interval", 6, "change-rate interval (hours) to evaluate")
+	top := fs.Int("top", 13, "print a suggested top-k selection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("featsel: -data is required")
+	}
+	drives, err := loadTraces(*data, *format)
+	if err != nil {
+		return err
+	}
+	pool := featsel.CandidateFeatures(*interval)
+	fsData := featsel.Data{Features: pool}
+	for _, d := range drives {
+		if len(d.Records) == 0 {
+			continue
+		}
+		s := detect.ExtractSeries(pool, d.Records, 0, len(d.Records))
+		if d.Meta.Failed {
+			var windowed [][]float64
+			for i, h := range s.Hours {
+				if d.Meta.FailHour-h <= *window {
+					windowed = append(windowed, s.X[i])
+				}
+			}
+			fsData.Failed = append(fsData.Failed, windowed...)
+			fsData.FailedSeries = append(fsData.FailedSeries, windowed)
+		} else {
+			// Subsample good rows to keep the test balanced.
+			for i := 0; i < len(s.X); i += 8 {
+				fsData.Good = append(fsData.Good, s.X[i])
+			}
+		}
+	}
+	scores, err := featsel.Evaluate(fsData)
+	if err != nil {
+		return err
+	}
+	for _, s := range scores {
+		fmt.Println(s.String())
+	}
+	fmt.Println("\nsuggested selection:")
+	for _, f := range featsel.SelectTop(scores, *top) {
+		fmt.Println("  " + f.String())
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	data, format := dataFlags(fs)
+	kind := fs.String("model", "ct", "model type: ct, rt or ann")
+	out := fs.String("o", "model.json", "output model file")
+	periodStart := fs.Int("period-start", 0, "good-sample window start hour")
+	periodEnd := fs.Int("period-end", 168, "good-sample window end hour")
+	window := fs.Int("window", 168, "failed time window (hours)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	epochs := fs.Int("ann-epochs", 400, "ANN epochs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("train: -data is required")
+	}
+	drives, err := loadTraces(*data, *format)
+	if err != nil {
+		return err
+	}
+
+	features := smart.CriticalFeatures()
+	failedWindow := *window
+	if *kind == "ann" {
+		failedWindow = 12 // the paper's ANN window
+	}
+	cfg := dataset.Config{
+		Features:          features,
+		PeriodStart:       *periodStart,
+		PeriodEnd:         *periodEnd,
+		FailedWindowHours: failedWindow,
+		FailedShare:       0.2,
+		Seed:              *seed,
+	}
+	if *kind == "rt" {
+		cfg.FailedSamplesPerDrive = 12
+	}
+	b, err := dataset.NewBuilder(cfg)
+	if err != nil {
+		return err
+	}
+	for i, d := range drives {
+		if d.Meta.Failed {
+			b.AddFailedDrive(i, d.Meta.FailHour, d.Records)
+		} else {
+			b.AddGoodDrive(i, d.Records)
+		}
+	}
+	ds, err := b.Finalize()
+	if err != nil {
+		return err
+	}
+	good, failed := ds.Counts()
+	fmt.Fprintf(os.Stderr, "train: %d good + %d failed samples\n", good, failed)
+	if good == 0 || failed == 0 {
+		return errors.New("train: need both good and failed training samples")
+	}
+
+	var mf modelFile
+	switch *kind {
+	case "ct":
+		x, y, w := ds.XMatrix()
+		tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10})
+		if err != nil {
+			return err
+		}
+		tree.FeatureNames = features.Names()
+		mf = modelFile{Type: "ct", Tree: tree}
+	case "rt":
+		// Health-degree targets with the global window (personalized
+		// windows need a first-pass CT model; see the library API).
+		if err := ds.SetHealthTargets(nil, health.DefaultWindowHours); err != nil {
+			return err
+		}
+		x, y, w := ds.XMatrix()
+		tree, err := cart.TrainRegressor(x, y, w, cart.Params{})
+		if err != nil {
+			return err
+		}
+		tree.FeatureNames = features.Names()
+		mf = modelFile{Type: "rt", Tree: tree}
+	case "ann":
+		x, y, w := ds.XMatrix()
+		net, err := ann.Train(x, y, w, ann.Config{Hidden: 13, Epochs: *epochs, Patience: 10, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		raw, err := net.Marshal()
+		if err != nil {
+			return err
+		}
+		mf = modelFile{Type: "ann", Network: raw}
+	default:
+		return fmt.Errorf("train: unknown model type %q", *kind)
+	}
+	enc, err := json.Marshal(mf)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "train: wrote %s model to %s\n", mf.Type, *out)
+	return nil
+}
+
+// detectorFor builds the right detector for a model type.
+func detectorFor(mf *modelFile, model detect.Predictor, voters int, threshold float64) detect.Detector {
+	if mf.Type == "rt" {
+		return &detect.MeanThreshold{Model: model, Voters: voters, Threshold: threshold}
+	}
+	return &detect.Voting{Model: model, Voters: voters, Threshold: 0}
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	data, format := dataFlags(fs)
+	modelPath := fs.String("m", "model.json", "model file")
+	voters := fs.Int("voters", 11, "voting/averaging window N")
+	threshold := fs.Float64("threshold", -0.3, "health-degree alarm threshold (rt models)")
+	periodStart := fs.Int("period-start", 0, "good test window start hour")
+	periodEnd := fs.Int("period-end", 168, "good test window end hour")
+	seed := fs.Int64("seed", 1, "failed-drive split seed (must match training)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("evaluate: -data is required")
+	}
+	model, mf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	drives, err := loadTraces(*data, *format)
+	if err != nil {
+		return err
+	}
+	features := smart.CriticalFeatures()
+	det := detectorFor(mf, model, *voters, *threshold)
+	var c eval.Counter
+	for i, d := range drives {
+		if d.Meta.Failed {
+			if dataset.IsTrainFailedDrive(*seed, i, 0.7) {
+				continue
+			}
+			s := detect.ExtractSeries(features, d.Records, 0, len(d.Records))
+			c.AddFailed(detect.Scan(det, s, d.Meta.FailHour))
+			continue
+		}
+		from, to, ok := dataset.TestStart(d.Records, *periodStart, *periodEnd, 0.7)
+		if !ok {
+			continue
+		}
+		s := detect.ExtractSeries(features, d.Records, from, to)
+		c.AddGood(detect.Scan(det, s, -1).Alarmed)
+	}
+	fmt.Println(c.Result().String())
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	data, format := dataFlags(fs)
+	modelPath := fs.String("m", "model.json", "model file")
+	voters := fs.Int("voters", 11, "voting/averaging window N")
+	threshold := fs.Float64("threshold", -0.3, "health-degree alarm threshold (rt models)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("predict: -data is required")
+	}
+	model, mf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	drives, err := loadTraces(*data, *format)
+	if err != nil {
+		return err
+	}
+	features := smart.CriticalFeatures()
+	det := detectorFor(mf, model, *voters, *threshold)
+	warnings := 0
+	for _, d := range drives {
+		s := detect.ExtractSeries(features, d.Records, 0, len(d.Records))
+		out := detect.Scan(det, s, -1)
+		if out.Alarmed {
+			warnings++
+			fmt.Printf("%s\tWARNING at hour %d\n", d.Meta.Serial, out.AlarmHour)
+		} else {
+			fmt.Printf("%s\thealthy\n", d.Meta.Serial)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "predict: %d warnings across %d drives\n", warnings, len(drives))
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	modelPath := fs.String("m", "model.json", "model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, mf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	switch mf.Type {
+	case "ct", "rt":
+		tree := mf.Tree
+		fmt.Printf("%s tree: %d nodes, %d leaves, depth %d\n",
+			mf.Type, tree.NumNodes(), tree.NumLeaves(), tree.Depth())
+		fmt.Println("\nfailure rules:")
+		for _, rule := range tree.Rules(true) {
+			fmt.Println("  " + rule.String(tree.FeatureNames))
+		}
+		fmt.Println("\nvariable importance:")
+		imp := tree.VariableImportance()
+		for i, v := range imp {
+			if v > 0 {
+				name := fmt.Sprintf("x[%d]", i)
+				if i < len(tree.FeatureNames) {
+					name = tree.FeatureNames[i]
+				}
+				fmt.Printf("  %-44s %.4f\n", name, v)
+			}
+		}
+	case "ann":
+		net, err := ann.Unmarshal(mf.Network)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BP ANN: %d inputs, %d hidden units (a black box — the paper's point)\n",
+			net.NumInputs, net.Hidden)
+	}
+	return nil
+}

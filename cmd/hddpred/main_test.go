@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hddcart/internal/simulate"
+	"hddcart/internal/trace"
+)
+
+// writeFixture generates a small CSV dataset for the CLI tests.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	fleet, err := simulate.New(simulate.Config{Seed: 9, GoodScale: 0.003, FailedScale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()
+	tw := trace.NewWriter(bw)
+	for _, d := range fleet.Drives() {
+		meta := trace.DriveMeta{Serial: d.Serial, Family: d.Family, Failed: d.Failed, FailHour: d.FailHour}
+		if err := tw.WriteDrive(meta, fleet.Trace(d.Index)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainEvaluatePredictInspectCT(t *testing.T) {
+	data := writeFixture(t)
+	model := filepath.Join(t.TempDir(), "ct.json")
+	if err := run([]string{"train", "-data", data, "-model", "ct", "-o", model}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"evaluate", "-data", data, "-m", model, "-voters", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"predict", "-data", data, "-m", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", "-m", model}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainRT(t *testing.T) {
+	data := writeFixture(t)
+	model := filepath.Join(t.TempDir(), "rt.json")
+	if err := run([]string{"train", "-data", data, "-model", "rt", "-o", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"evaluate", "-data", data, "-m", model, "-threshold", "-0.3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainANN(t *testing.T) {
+	data := writeFixture(t)
+	model := filepath.Join(t.TempDir(), "ann.json")
+	if err := run([]string{"train", "-data", data, "-model", "ann", "-o", model, "-ann-epochs", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"evaluate", "-data", data, "-m", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", "-m", model}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                        // no subcommand
+		{"frobnicate"},             // unknown subcommand
+		{"train"},                  // missing -data
+		{"train", "-data", "nope"}, // unreadable data
+		{"evaluate"},               // missing -data
+		{"predict"},                // missing -data
+		{"inspect", "-m", "missing.json"},
+		{"train", "-data", "x", "-model", "svm"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"type":"ct"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadModel(bad); err == nil {
+		t.Error("model without tree accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`{"type":"alien"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadModel(bad); err == nil {
+		t.Error("unknown model type accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadModel(bad); err == nil {
+		t.Error("non-JSON model accepted")
+	}
+}
+
+func TestFeatselSubcommand(t *testing.T) {
+	data := writeFixture(t)
+	if err := run([]string{"featsel", "-data", data, "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackblazeFormat(t *testing.T) {
+	// A minimal Backblaze-format file flows through train (it will fail
+	// for lack of failed samples, which is the expected, explicit error).
+	path := filepath.Join(t.TempDir(), "bb.csv")
+	raw := "date,serial_number,model,failure,smart_1_normalized,smart_1_raw\n" +
+		"2024-01-01,X,M,0,100,1\n2024-01-02,X,M,0,99,2\n"
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"train", "-data", path, "-format", "backblaze", "-period-end", "96",
+		"-o", filepath.Join(t.TempDir(), "m.json")})
+	if err == nil || !strings.Contains(err.Error(), "need both good and failed") {
+		t.Errorf("err = %v, want missing-failed-samples error", err)
+	}
+	if err := run([]string{"train", "-data", path, "-format", "alien"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command reliability runs the paper's §VI analysis: single-drive MTTDL
+// under Eckart's Eq. 7 and RAID-group MTTDL under Gibson's closed forms
+// and the Fig. 11 Markov models.
+//
+// Usage:
+//
+//	reliability single [-mttf 1390000] [-mttr 8] [-fdr 0.9549] [-tia 355]
+//	reliability raid   [-level 5|6] [-drives 100] [-mttf ...] [-fdr ...] [-montecarlo]
+//	reliability sweep  [-max 2500]   # the four Fig. 12 curves
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"hddcart/internal/reliability"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reliability:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: reliability <single|raid|sweep> [flags]")
+	}
+	switch args[0] {
+	case "single":
+		return cmdSingle(args[1:])
+	case "raid":
+		return cmdRAID(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func driveFlags(fs *flag.FlagSet) (*float64, *float64) {
+	mttf := fs.Float64("mttf", 1390000, "drive MTTF (hours); paper: 1.39e6 SATA, 1.99e6 SAS")
+	mttr := fs.Float64("mttr", 8, "repair/rebuild time (hours)")
+	return mttf, mttr
+}
+
+func predFlags(fs *flag.FlagSet) (*float64, *float64) {
+	fdr := fs.Float64("fdr", 0.9549, "prediction model detection rate k (0 = no prediction)")
+	tia := fs.Float64("tia", 355, "mean warning lead time (hours)")
+	return fdr, tia
+}
+
+func cmdSingle(args []string) error {
+	fs := flag.NewFlagSet("single", flag.ContinueOnError)
+	mttf, mttr := driveFlags(fs)
+	fdr, tia := predFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := reliability.DriveParams{MTTFHours: *mttf, MTTRHours: *mttr}
+	p := reliability.Prediction{FDR: *fdr, TIAHours: *tia}
+	base := reliability.SingleDriveMTTDL(d, reliability.NoPrediction) / reliability.HoursPerYear
+	with := reliability.SingleDriveMTTDL(d, p) / reliability.HoursPerYear
+	fmt.Printf("single drive MTTDL (Eq. 7):\n")
+	fmt.Printf("  no prediction:   %12.2f years\n", base)
+	fmt.Printf("  with prediction: %12.2f years (%.2f%% increase)\n", with, (with/base-1)*100)
+	return nil
+}
+
+func cmdRAID(args []string) error {
+	fs := flag.NewFlagSet("raid", flag.ContinueOnError)
+	level := fs.Int("level", 6, "RAID level (5 or 6)")
+	n := fs.Int("drives", 100, "drives in the group")
+	mttf, mttr := driveFlags(fs)
+	fdr, tia := predFlags(fs)
+	mc := fs.Bool("montecarlo", false, "cross-check with Monte-Carlo simulation")
+	trials := fs.Int("trials", 2000, "Monte-Carlo trials")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := reliability.DriveParams{MTTFHours: *mttf, MTTRHours: *mttr}
+	p := reliability.Prediction{FDR: *fdr, TIAHours: *tia}
+
+	var noPred float64
+	var chainMTTDL func() (float64, error)
+	var chain *reliability.Chain
+	var start int
+	var err error
+	switch *level {
+	case 5:
+		noPred = reliability.RAID5MTTDLNoPrediction(d, *n)
+		chain, start, err = reliability.RAID5PredictionChain(*n, d, p)
+		chainMTTDL = func() (float64, error) { return chain.MeanTimeToAbsorption(start) }
+	case 6:
+		noPred = reliability.RAID6MTTDLNoPrediction(d, *n)
+		chain, start, err = reliability.RAID6PredictionChain(*n, d, p)
+		chainMTTDL = func() (float64, error) { return chain.MeanTimeToAbsorption(start) }
+	default:
+		return fmt.Errorf("raid: unsupported level %d", *level)
+	}
+	if err != nil {
+		return err
+	}
+	exact, err := chainMTTDL()
+	if err != nil {
+		return err
+	}
+	years := func(h float64) float64 { return h / reliability.HoursPerYear }
+	fmt.Printf("RAID-%d, %d drives:\n", *level, *n)
+	fmt.Printf("  closed form w/o prediction:  %14.4g years\n", years(noPred))
+	fmt.Printf("  Markov model w/ prediction:  %14.4g years (%d states)\n", years(exact), chain.NumStates())
+	if *mc {
+		est, err := chain.EstimateMTTA(start, *trials, 42)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  Monte-Carlo (%d trials):     %14.4g years\n", *trials, years(est))
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	maxN := fs.Int("max", 2500, "largest system size")
+	fdr, tia := predFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := reliability.Prediction{FDR: *fdr, TIAHours: *tia}
+	sas, sata := reliability.SASDrive(), reliability.SATADrive()
+	fmt.Printf("%8s %16s %16s %16s %16s  (million years)\n",
+		"drives", "SAS R6 w/o", "SATA R6 w/o", "SATA R6 w/CT", "SATA R5 w/CT")
+	for _, n := range []int{10, 50, 100, 250, 500, 1000, 1500, 2000, 2500} {
+		if n > *maxN {
+			break
+		}
+		r6, err := reliability.RAID6PredictionMTTDL(n, sata, p)
+		if err != nil {
+			return err
+		}
+		r5, err := reliability.RAID5PredictionMTTDL(n, sata, p)
+		if err != nil {
+			return err
+		}
+		toM := func(h float64) float64 { return h / reliability.HoursPerYear / 1e6 }
+		fmt.Printf("%8d %16.6g %16.6g %16.6g %16.6g\n", n,
+			toM(reliability.RAID6MTTDLNoPrediction(sas, n)),
+			toM(reliability.RAID6MTTDLNoPrediction(sata, n)),
+			toM(r6), toM(r5))
+	}
+	return nil
+}

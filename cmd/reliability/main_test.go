@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestSingle(t *testing.T) {
+	if err := run([]string{"single"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"single", "-fdr", "0", "-mttf", "1000000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAID(t *testing.T) {
+	if err := run([]string{"raid", "-level", "6", "-drives", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"raid", "-level", "5", "-drives", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo path with accelerated parameters.
+	if err := run([]string{"raid", "-drives", "5", "-mttf", "1000", "-mttr", "50",
+		"-tia", "100", "-montecarlo", "-trials", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	if err := run([]string{"sweep", "-max", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"what"},
+		{"raid", "-level", "7"},
+		{"single", "-badflag"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package hddcart is a from-scratch Go reproduction of
+//
+//	Li, Ji, Jia, Zhu, Wang, Li, Liu.
+//	"Hard Drive Failure Prediction Using Classification and Regression
+//	Trees", DSN 2014.
+//
+// It provides, behind one facade:
+//
+//   - classification trees (CT) and regression trees (RT) trained on SMART
+//     attributes, with the paper's information-gain/sum-of-squares splits,
+//     Minsplit/Minbucket stopping, complexity-parameter pruning, class
+//     boosting and asymmetric false-alarm losses (internal/cart);
+//   - the Backpropagation artificial neural network baseline (internal/ann);
+//   - the statistical feature selection of §IV-B — rank-sum,
+//     reverse-arrangements and z-score tests (internal/stats,
+//     internal/featsel);
+//   - drive-level detection: the voting-based algorithm and the
+//     health-degree mean-threshold detector (internal/detect), plus an
+//     online Monitor for streaming deployments;
+//   - health-degree machinery: personalized deterioration windows and a
+//     priority queue that processes warnings worst-health-first
+//     (internal/health);
+//   - a synthetic datacenter SMART trace generator standing in for the
+//     paper's proprietary 25,792-drive dataset (internal/simulate);
+//   - reliability models: Eckart's Eq. 7, Gibson's Eq. 8 and the Fig. 11
+//     RAID Markov chains solved exactly (internal/reliability);
+//   - runners regenerating every table and figure of the paper's
+//     evaluation (internal/experiments; see cmd/experiments).
+//
+// # Quick start
+//
+//	fleet, _ := hddcart.GenerateFleet(hddcart.FleetConfig{Seed: 1, GoodScale: 0.05, FailedScale: 0.5})
+//	features := hddcart.CriticalFeatures()
+//	// ... build a training set, train, detect (see examples/quickstart).
+//
+// The examples/ directory contains four runnable programs; DESIGN.md maps
+// every paper experiment to the module and benchmark that regenerates it,
+// and EXPERIMENTS.md records paper-versus-measured results.
+package hddcart

@@ -1,0 +1,111 @@
+// Modelzoo: train every model family this library implements — the
+// paper's CT and RT, the BP ANN baseline, and the future-work random
+// forest and AdaBoost ensembles — on identical data, and line up their
+// FDR/FAR/TIA under the same voting detector.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hddcart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelzoo: ")
+
+	fleet, err := hddcart.GenerateFleet(hddcart.FleetConfig{
+		Seed: 31, GoodScale: 0.03, FailedScale: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	features := hddcart.CriticalFeatures()
+
+	build := func(window int) *hddcart.Dataset {
+		b, err := hddcart.NewDatasetBuilder(hddcart.DatasetConfig{
+			Features:            features,
+			PeriodStart:         0,
+			PeriodEnd:           168,
+			SamplesPerGoodDrive: 10,
+			FailedWindowHours:   window,
+			FailedShare:         0.2,
+			Seed:                31,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range fleet.Drives() {
+			trace := fleet.Trace(d.Index)
+			if d.Failed {
+				b.AddFailedDrive(d.Index, d.FailHour, trace)
+			} else {
+				b.AddGoodDrive(d.Index, trace)
+			}
+		}
+		ds, err := b.Finalize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	}
+	dsLong := build(168) // trees & ensembles (paper's best CT window)
+	dsShort := build(12) // the ANN's window (paper §V-A)
+
+	type entry struct {
+		name  string
+		model hddcart.Predictor
+		cost  time.Duration
+	}
+	var zoo []entry
+	timed := func(name string, train func() (hddcart.Predictor, error)) {
+		start := time.Now()
+		m, err := train()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		zoo = append(zoo, entry{name, m, time.Since(start)})
+	}
+	timed("CT", func() (hddcart.Predictor, error) {
+		return hddcart.TrainClassificationTree(dsLong, hddcart.TreeParams{LossFA: 10})
+	})
+	timed("BP ANN", func() (hddcart.Predictor, error) {
+		return hddcart.TrainNeuralNetwork(dsShort, hddcart.NetworkConfig{Epochs: 100, Patience: 8, Seed: 31})
+	})
+	timed("forest", func() (hddcart.Predictor, error) {
+		return hddcart.TrainRandomForest(dsLong, hddcart.ForestConfig{
+			Trees: 40, Params: hddcart.TreeParams{LossFA: 10}, Seed: 31,
+		})
+	})
+	timed("AdaBoost", func() (hddcart.Predictor, error) {
+		return hddcart.TrainAdaBoost(dsLong, hddcart.BoostConfig{Rounds: 15, MaxDepth: 5})
+	})
+
+	fmt.Printf("%-10s %12s %9s %9s %9s\n", "model", "train time", "FAR(%)", "FDR(%)", "TIA(h)")
+	for _, e := range zoo {
+		det := &hddcart.VotingDetector{Model: e.model, Voters: 11}
+		var c hddcart.Counter
+		for _, d := range fleet.Drives() {
+			trace := fleet.Trace(d.Index)
+			if d.Failed {
+				if hddcart.IsTrainFailedDrive(31, d.Index, 0.7) {
+					continue
+				}
+				s := hddcart.ExtractSeries(features, trace, 0, len(trace))
+				c.AddFailed(hddcart.Scan(det, s, d.FailHour))
+				continue
+			}
+			from, to, ok := hddcart.TestStart(trace, 0, 168, 0.7)
+			if !ok {
+				continue
+			}
+			s := hddcart.ExtractSeries(features, trace, from, to)
+			c.AddGood(hddcart.Scan(det, s, -1).Alarmed)
+		}
+		r := c.Result()
+		fmt.Printf("%-10s %12s %9.3f %9.2f %9.1f\n",
+			e.name, e.cost.Round(time.Millisecond), r.FAR()*100, r.FDR()*100, r.MeanTIA())
+	}
+}

@@ -1,0 +1,79 @@
+// Raidplanner: the paper's §VI argument as a capacity-planning tool. Given
+// a target system size, compare the reliability (MTTDL) and relative cost
+// of RAID configurations with and without CT-model failure prediction —
+// showing that prediction lets cheap SATA drives and/or reduced redundancy
+// match expensive configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hddcart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("raidplanner: ")
+
+	sas := hddcart.DriveParams{MTTFHours: 1990000, MTTRHours: 8}
+	sata := hddcart.DriveParams{MTTFHours: 1390000, MTTRHours: 8}
+	// The CT model's operating point (paper §VI): 95.49% of failures
+	// predicted, 355 h of warning.
+	ct := hddcart.PredictionParams{FDR: 0.9549, TIAHours: 355}
+
+	fmt.Println("single-drive MTTDL with proactive replacement (Eq. 7):")
+	fmt.Printf("  SATA, no prediction: %10.0f years\n",
+		hddcart.SingleDriveMTTDL(sata, hddcart.PredictionParams{})/8760)
+	fmt.Printf("  SATA, CT prediction: %10.0f years\n\n",
+		hddcart.SingleDriveMTTDL(sata, ct)/8760)
+
+	// Cost model: a SAS drive at ~2.5× the price of a SATA drive;
+	// RAID-5 needs one parity drive per group of 10, RAID-6 two.
+	const (
+		sataPrice = 1.0
+		sasPrice  = 2.5
+		groupSize = 10
+	)
+	configs := []struct {
+		name   string
+		level  int
+		drive  hddcart.DriveParams
+		pred   hddcart.PredictionParams
+		price  float64
+		parity int
+	}{
+		{"SAS   RAID-6, no prediction", 6, sas, hddcart.PredictionParams{}, sasPrice, 2},
+		{"SATA  RAID-6, no prediction", 6, sata, hddcart.PredictionParams{}, sataPrice, 2},
+		{"SATA  RAID-6 + CT model", 6, sata, ct, sataPrice, 2},
+		{"SATA  RAID-5 + CT model", 5, sata, ct, sataPrice, 1},
+	}
+
+	for _, dataDrives := range []int{100, 1000} {
+		fmt.Printf("system with %d data drives (groups of %d):\n", dataDrives, groupSize)
+		fmt.Printf("  %-30s %16s %12s\n", "configuration", "MTTDL (years)", "rel. cost")
+		baseCost := float64(dataDrives) * (1 + 2.0/groupSize) * sataPrice
+		for _, cfg := range configs {
+			total := dataDrives + dataDrives/groupSize*cfg.parity
+			var mttdl float64
+			var err error
+			switch {
+			case cfg.pred.FDR == 0 && cfg.level == 6:
+				// Gibson closed form for the unpredicted baseline.
+				mttdl, err = hddcart.RAID6MTTDL(total, cfg.drive, cfg.pred)
+			case cfg.level == 6:
+				mttdl, err = hddcart.RAID6MTTDL(total, cfg.drive, cfg.pred)
+			default:
+				mttdl, err = hddcart.RAID5MTTDL(total, cfg.drive, cfg.pred)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost := float64(total) * cfg.price / baseCost
+			fmt.Printf("  %-30s %16.4g %12.2f\n", cfg.name, mttdl/8760, cost)
+		}
+		fmt.Println()
+	}
+	fmt.Println("prediction lets the all-SATA RAID-5 system match or beat the")
+	fmt.Println("unpredicted RAID-6 systems at a fraction of the hardware cost.")
+}

@@ -1,0 +1,3 @@
+module hddcart
+
+go 1.22

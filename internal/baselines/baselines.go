@@ -1,0 +1,350 @@
+// Package baselines implements the prior-work prediction methods the
+// paper's §II surveys, so the reproduction can rank them against the CART
+// models on identical data:
+//
+//   - the in-drive SMART threshold algorithm (vendors' conservative
+//     per-attribute cutoffs — "FDR of 3-10% with ~0.1% FAR");
+//   - the supervised naive Bayes classifier of Hamerly & Elkan;
+//   - the Mahalanobis-distance anomaly detector of Wang et al.;
+//   - the Wilcoxon rank-sum detection of Hughes et al. (OR-ed
+//     single-variate tests of a recent sample window against a healthy
+//     reference set).
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hddcart/internal/linalg"
+	"hddcart/internal/smart"
+	"hddcart/internal/stats"
+)
+
+// --- SMART threshold algorithm -------------------------------------------
+
+// Thresholds is the vendor-style per-attribute normalized-value cutoff
+// table: a drive trips when any monitored attribute falls to or below its
+// threshold.
+type Thresholds map[smart.AttrID]float64
+
+// ConservativeThresholds mirrors the vendor practice the paper describes:
+// thresholds set far below healthy operating values to keep false alarms
+// near zero at the cost of detection.
+func ConservativeThresholds() Thresholds {
+	return Thresholds{
+		smart.RawReadErrorRate:      34,
+		smart.SpinUpTime:            55,
+		smart.ReallocatedSectors:    36,
+		smart.SeekErrorRate:         25,
+		smart.ReportedUncorrectable: 16,
+		smart.HardwareECCRecovered:  28,
+		smart.TemperatureCelsius:    22, // i.e. ≥ 78°C sustained
+	}
+}
+
+// ThresholdModel applies a threshold table to feature vectors. It
+// satisfies detect.Predictor: −1 when any thresholded attribute trips.
+type ThresholdModel struct {
+	cuts []float64 // per feature column; NaN = not monitored
+}
+
+// NewThresholdModel binds a threshold table to a feature layout. Only
+// Normalized-kind features with an entry in the table are monitored.
+func NewThresholdModel(features smart.FeatureSet, t Thresholds) *ThresholdModel {
+	m := &ThresholdModel{cuts: make([]float64, len(features))}
+	for i, f := range features {
+		m.cuts[i] = math.NaN()
+		if f.Kind != smart.Normalized {
+			continue
+		}
+		if cut, ok := t[f.Attr]; ok {
+			m.cuts[i] = cut
+		}
+	}
+	return m
+}
+
+// Predict returns −1 when any monitored attribute is at or below its
+// threshold, else +1.
+func (m *ThresholdModel) Predict(x []float64) float64 {
+	for i, cut := range m.cuts {
+		if !math.IsNaN(cut) && i < len(x) && x[i] <= cut {
+			return -1
+		}
+	}
+	return 1
+}
+
+// --- Naive Bayes -----------------------------------------------------------
+
+// NaiveBayes is a Gaussian naive Bayes classifier over the feature columns
+// (Hamerly & Elkan's supervised variant). It satisfies detect.Predictor:
+// the output is tanh of half the class log-odds, so thresholds behave like
+// the other models'.
+type NaiveBayes struct {
+	priorGood, priorFailed   float64
+	meanG, varG, meanF, varF []float64
+}
+
+// TrainNaiveBayes fits per-class Gaussians with weighted moments. y holds
+// ±1 targets, w optional weights.
+func TrainNaiveBayes(x [][]float64, y, w []float64, priorFailed float64) (*NaiveBayes, error) {
+	if len(x) == 0 {
+		return nil, errors.New("baselines: empty training set")
+	}
+	if len(y) != len(x) {
+		return nil, fmt.Errorf("baselines: %d samples but %d targets", len(x), len(y))
+	}
+	if w != nil && len(w) != len(x) {
+		return nil, fmt.Errorf("baselines: %d samples but %d weights", len(x), len(w))
+	}
+	if priorFailed <= 0 || priorFailed >= 1 {
+		return nil, fmt.Errorf("baselines: prior %v outside (0,1)", priorFailed)
+	}
+	nf := len(x[0])
+	nb := &NaiveBayes{
+		priorGood: 1 - priorFailed, priorFailed: priorFailed,
+		meanG: make([]float64, nf), varG: make([]float64, nf),
+		meanF: make([]float64, nf), varF: make([]float64, nf),
+	}
+	var wG, wF float64
+	weight := func(i int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[i]
+	}
+	for i, row := range x {
+		if len(row) != nf {
+			return nil, fmt.Errorf("baselines: ragged row %d", i)
+		}
+		sw := weight(i)
+		if y[i] < 0 {
+			wF += sw
+			for j, v := range row {
+				nb.meanF[j] += sw * v
+			}
+		} else {
+			wG += sw
+			for j, v := range row {
+				nb.meanG[j] += sw * v
+			}
+		}
+	}
+	if wG == 0 || wF == 0 {
+		return nil, errors.New("baselines: need both classes")
+	}
+	for j := 0; j < nf; j++ {
+		nb.meanG[j] /= wG
+		nb.meanF[j] /= wF
+	}
+	for i, row := range x {
+		sw := weight(i)
+		for j, v := range row {
+			if y[i] < 0 {
+				d := v - nb.meanF[j]
+				nb.varF[j] += sw * d * d
+			} else {
+				d := v - nb.meanG[j]
+				nb.varG[j] += sw * d * d
+			}
+		}
+	}
+	for j := 0; j < nf; j++ {
+		nb.varG[j] = nb.varG[j]/wG + 1e-6
+		nb.varF[j] = nb.varF[j]/wF + 1e-6
+	}
+	return nb, nil
+}
+
+// Predict returns a score in (−1, +1): negative = failed more likely.
+func (nb *NaiveBayes) Predict(x []float64) float64 {
+	logG := math.Log(nb.priorGood)
+	logF := math.Log(nb.priorFailed)
+	for j := range nb.meanG {
+		if j >= len(x) {
+			break
+		}
+		dG := x[j] - nb.meanG[j]
+		logG -= 0.5*math.Log(2*math.Pi*nb.varG[j]) + dG*dG/(2*nb.varG[j])
+		dF := x[j] - nb.meanF[j]
+		logF -= 0.5*math.Log(2*math.Pi*nb.varF[j]) + dF*dF/(2*nb.varF[j])
+	}
+	return math.Tanh((logG - logF) / 2)
+}
+
+// --- Mahalanobis distance ---------------------------------------------------
+
+// Mahalanobis scores samples by their Mahalanobis distance from a baseline
+// space built from healthy samples only (Wang et al.). It satisfies
+// detect.Predictor: the score is 1 − MD/MD₉₉, so healthy samples sit near
+// +1 and anomalies go negative once they exceed the healthy population's
+// 99th-percentile distance.
+type Mahalanobis struct {
+	mean   []float64
+	covInv [][]float64
+	ref    float64 // the healthy 99th-percentile distance
+}
+
+// TrainMahalanobis fits the baseline space from healthy samples.
+func TrainMahalanobis(good [][]float64) (*Mahalanobis, error) {
+	n := len(good)
+	if n < 3 {
+		return nil, errors.New("baselines: need ≥ 3 healthy samples")
+	}
+	nf := len(good[0])
+	m := &Mahalanobis{mean: make([]float64, nf)}
+	for _, row := range good {
+		if len(row) != nf {
+			return nil, errors.New("baselines: ragged healthy matrix")
+		}
+		for j, v := range row {
+			m.mean[j] += v
+		}
+	}
+	for j := range m.mean {
+		m.mean[j] /= float64(n)
+	}
+	// Covariance with a ridge term for degenerate features.
+	cov := make([][]float64, nf)
+	for i := range cov {
+		cov[i] = make([]float64, nf)
+	}
+	for _, row := range good {
+		for i := 0; i < nf; i++ {
+			di := row[i] - m.mean[i]
+			for j := i; j < nf; j++ {
+				cov[i][j] += di * (row[j] - m.mean[j])
+			}
+		}
+	}
+	for i := 0; i < nf; i++ {
+		for j := i; j < nf; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+		cov[i][i] += 1e-6
+	}
+	// Invert by solving against identity columns.
+	m.covInv = make([][]float64, nf)
+	for c := 0; c < nf; c++ {
+		a := make([][]float64, nf)
+		for i := range a {
+			a[i] = append([]float64(nil), cov[i]...)
+		}
+		rhs := make([]float64, nf)
+		rhs[c] = 1
+		colSol, err := linalg.SolveDense(a, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: covariance inversion: %w", err)
+		}
+		for i := 0; i < nf; i++ {
+			if m.covInv[i] == nil {
+				m.covInv[i] = make([]float64, nf)
+			}
+			m.covInv[i][c] = colSol[i]
+		}
+	}
+	// Reference distance: healthy 99th percentile.
+	ds := make([]float64, 0, n)
+	for _, row := range good {
+		ds = append(ds, m.distance(row))
+	}
+	m.ref = stats.Quantile(ds, 0.99)
+	if m.ref <= 0 {
+		m.ref = 1
+	}
+	return m, nil
+}
+
+// distance is the Mahalanobis distance of x from the baseline.
+func (m *Mahalanobis) distance(x []float64) float64 {
+	nf := len(m.mean)
+	d := make([]float64, nf)
+	for i := 0; i < nf; i++ {
+		if i < len(x) {
+			d[i] = x[i] - m.mean[i]
+		}
+	}
+	sum := 0.0
+	for i := 0; i < nf; i++ {
+		for j := 0; j < nf; j++ {
+			sum += d[i] * m.covInv[i][j] * d[j]
+		}
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	return math.Sqrt(sum)
+}
+
+// Predict returns 1 − MD/MD₉₉ (positive inside the healthy envelope).
+func (m *Mahalanobis) Predict(x []float64) float64 {
+	return 1 - m.distance(x)/m.ref
+}
+
+// --- Rank-sum detection ------------------------------------------------------
+
+// RankSum is Hughes et al.'s OR-ed single-variate detection: a sliding
+// window of recent samples is rank-sum-tested, per feature, against a
+// healthy reference set; the drive alarms when any feature's statistic
+// exceeds the critical z. It implements detect.Detector directly (it needs
+// sample windows, not single samples).
+type RankSum struct {
+	// Reference holds healthy reference values per feature column.
+	Reference [][]float64
+	// Window is the number of recent samples tested (default 12).
+	Window int
+	// CriticalZ is the two-sided significance cut (default 3.0).
+	CriticalZ float64
+}
+
+// NewRankSum builds the reference sets from healthy feature vectors.
+func NewRankSum(good [][]float64, window int, criticalZ float64) (*RankSum, error) {
+	if len(good) < 10 {
+		return nil, errors.New("baselines: rank-sum needs ≥ 10 reference samples")
+	}
+	nf := len(good[0])
+	ref := make([][]float64, nf)
+	for _, row := range good {
+		if len(row) != nf {
+			return nil, errors.New("baselines: ragged reference matrix")
+		}
+		for j, v := range row {
+			ref[j] = append(ref[j], v)
+		}
+	}
+	if window == 0 {
+		window = 12
+	}
+	if criticalZ == 0 {
+		criticalZ = 3.0
+	}
+	return &RankSum{Reference: ref, Window: window, CriticalZ: criticalZ}, nil
+}
+
+// Detect returns the first index whose trailing window rejects the
+// healthy-distribution null on any feature, or -1.
+func (r *RankSum) Detect(xs [][]float64) int {
+	n := r.Window
+	if n < 1 {
+		n = 1
+	}
+	cols := len(r.Reference)
+	win := make([]float64, n)
+	for i := n - 1; i < len(xs); i++ {
+		for f := 0; f < cols; f++ {
+			for k := 0; k < n; k++ {
+				row := xs[i-n+1+k]
+				if f < len(row) {
+					win[k] = row[f]
+				}
+			}
+			if z := stats.RankSum(win, r.Reference[f]).Z; math.Abs(z) > r.CriticalZ {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hddcart/internal/smart"
+)
+
+func TestThresholdModel(t *testing.T) {
+	features := smart.FeatureSet{
+		{Attr: smart.RawReadErrorRate, Kind: smart.Normalized},
+		{Attr: smart.ReallocatedSectors, Kind: smart.Raw}, // raw: never monitored
+		{Attr: smart.SeekErrorRate, Kind: smart.Normalized},
+	}
+	m := NewThresholdModel(features, Thresholds{
+		smart.RawReadErrorRate: 60,
+		smart.SeekErrorRate:    45,
+	})
+	if m.Predict([]float64{100, 5000, 88}) != 1 {
+		t.Error("healthy sample tripped")
+	}
+	if m.Predict([]float64{60, 0, 88}) != -1 {
+		t.Error("at-threshold attribute should trip")
+	}
+	if m.Predict([]float64{100, 0, 30}) != -1 {
+		t.Error("seek threshold should trip")
+	}
+	// Raw column is ignored even when tiny.
+	if m.Predict([]float64{100, 1, 88}) != 1 {
+		t.Error("raw column must not be thresholded")
+	}
+}
+
+func TestConservativeThresholdsCatchLittle(t *testing.T) {
+	// Healthy values sit near 90-100; mild degradation (−15 points) must
+	// NOT trip the conservative thresholds — that is the §II point.
+	m := NewThresholdModel(smart.FeatureSet{
+		{Attr: smart.RawReadErrorRate, Kind: smart.Normalized},
+	}, ConservativeThresholds())
+	if m.Predict([]float64{85}) != 1 {
+		t.Error("mild degradation tripped a conservative threshold")
+	}
+	if m.Predict([]float64{60}) != 1 {
+		t.Error("moderate degradation tripped a conservative threshold")
+	}
+	if m.Predict([]float64{30}) != -1 {
+		t.Error("severe degradation should trip")
+	}
+}
+
+func nbData(rng *rand.Rand, n int) (x [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			x = append(x, []float64{70 + rng.NormFloat64()*8, 90 + rng.NormFloat64()*3})
+			y = append(y, -1)
+		} else {
+			x = append(x, []float64{100 + rng.NormFloat64()*2, 95 + rng.NormFloat64()*2})
+			y = append(y, 1)
+		}
+	}
+	return x, y
+}
+
+func TestNaiveBayesLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := nbData(rng, 800)
+	nb, err := TrainNaiveBayes(x, y, nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range x {
+		if (nb.Predict(x[i]) < 0) != (y[i] < 0) {
+			errs++
+		}
+	}
+	if errs > 40 { // 5%
+		t.Errorf("NB training errors = %d/800", errs)
+	}
+	if s := nb.Predict([]float64{100, 95}); s <= 0 || s >= 1 {
+		t.Errorf("healthy score = %v, want in (0,1)", s)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, -1}
+	if _, err := TrainNaiveBayes(nil, nil, nil, 0.2); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainNaiveBayes(x, []float64{1}, nil, 0.2); err == nil {
+		t.Error("target mismatch accepted")
+	}
+	if _, err := TrainNaiveBayes(x, y, []float64{1}, 0.2); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+	if _, err := TrainNaiveBayes(x, y, nil, 0); err == nil {
+		t.Error("bad prior accepted")
+	}
+	if _, err := TrainNaiveBayes(x, []float64{1, 1}, nil, 0.2); err == nil {
+		t.Error("single-class set accepted")
+	}
+}
+
+func TestMahalanobisSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Correlated healthy cloud.
+	var good [][]float64
+	for i := 0; i < 500; i++ {
+		a := rng.NormFloat64()
+		good = append(good, []float64{100 + a, 95 + 0.8*a + rng.NormFloat64()*0.4})
+	}
+	m, err := TrainMahalanobis(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-distribution points score positive; anomalies negative.
+	inliers, outliers := 0, 0
+	for i := 0; i < 200; i++ {
+		a := rng.NormFloat64()
+		if m.Predict([]float64{100 + a, 95 + 0.8*a + rng.NormFloat64()*0.4}) > 0 {
+			inliers++
+		}
+		if m.Predict([]float64{80 + rng.NormFloat64(), 95 + rng.NormFloat64()}) < 0 {
+			outliers++
+		}
+	}
+	if inliers < 190 {
+		t.Errorf("only %d/200 inliers scored positive", inliers)
+	}
+	if outliers < 190 {
+		t.Errorf("only %d/200 outliers scored negative", outliers)
+	}
+	// The correlation matters: a point plausible marginally but breaking
+	// the correlation must be flagged.
+	if m.Predict([]float64{102, 92}) > 0 {
+		t.Error("correlation-breaking point scored positive")
+	}
+}
+
+func TestMahalanobisValidation(t *testing.T) {
+	if _, err := TrainMahalanobis(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainMahalanobis([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged set accepted")
+	}
+}
+
+func TestRankSumDetector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var good [][]float64
+	for i := 0; i < 300; i++ {
+		good = append(good, []float64{100 + rng.NormFloat64(), 95 + rng.NormFloat64()})
+	}
+	det, err := NewRankSum(good, 12, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy series must pass.
+	var healthy [][]float64
+	for i := 0; i < 60; i++ {
+		healthy = append(healthy, []float64{100 + rng.NormFloat64(), 95 + rng.NormFloat64()})
+	}
+	if idx := det.Detect(healthy); idx != -1 {
+		t.Errorf("healthy series alarmed at %d", idx)
+	}
+	// A drifting series must alarm once the window clears the shift.
+	var failing [][]float64
+	for i := 0; i < 60; i++ {
+		shift := 0.0
+		if i >= 30 {
+			shift = -4
+		}
+		failing = append(failing, []float64{100 + shift + rng.NormFloat64(), 95 + rng.NormFloat64()})
+	}
+	idx := det.Detect(failing)
+	if idx < 30 || idx > 50 {
+		t.Errorf("drift alarm at %d, want shortly after 30", idx)
+	}
+}
+
+func TestRankSumValidation(t *testing.T) {
+	if _, err := NewRankSum(nil, 12, 3); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewRankSum([][]float64{{1}, {2, 3}}, 12, 3); err == nil {
+		t.Error("ragged reference accepted")
+	}
+}
+
+func TestScoresBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := nbData(rng, 200)
+	nb, err := TrainNaiveBayes(x, y, nil, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		if s := nb.Predict(row); s < -1 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("NB score %v out of range", s)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package boost implements AdaBoost.M1 over shallow CART trees. The
+// paper's §V cites the authors' earlier finding that AdaBoost "does not
+// provide significant performance improvement and is much more
+// computationally expensive" than the plain model — this package lets the
+// reproduction test that claim on the synthetic fleet (see the boost
+// experiment and benchmark).
+package boost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hddcart/internal/cart"
+)
+
+// Config holds the boosting hyper-parameters.
+type Config struct {
+	// Rounds is the number of boosting iterations. Default 30.
+	Rounds int
+	// MaxDepth bounds each weak learner (default 3 — stumps are too weak
+	// for 13-feature SMART data, full trees defeat boosting).
+	MaxDepth int
+	// Params are the remaining CART parameters for the weak learners.
+	Params cart.Params
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 30
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	return c
+}
+
+// Ensemble is a trained AdaBoost classifier.
+type Ensemble struct {
+	// Trees are the weak learners.
+	Trees []*cart.Tree
+	// Alphas are the learner weights.
+	Alphas []float64
+}
+
+// Train fits AdaBoost.M1 on ±1 targets. Initial sample weights (nil = all
+// 1) let callers keep the paper's failed-class boosting. Training stops
+// early when a learner reaches zero weighted error (the data is separable)
+// or when the weighted error hits 0.5 (no learnable signal remains).
+func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
+	if len(x) == 0 {
+		return nil, errors.New("boost: empty training set")
+	}
+	if len(y) != len(x) {
+		return nil, fmt.Errorf("boost: %d samples but %d targets", len(x), len(y))
+	}
+	if w != nil && len(w) != len(x) {
+		return nil, fmt.Errorf("boost: %d samples but %d weights", len(x), len(w))
+	}
+	cfg = cfg.withDefaults()
+	params := cfg.Params
+	params.MaxDepth = cfg.MaxDepth
+
+	n := len(x)
+	dist := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if w != nil {
+			dist[i] = w[i]
+		} else {
+			dist[i] = 1
+		}
+		total += dist[i]
+	}
+	if total <= 0 {
+		return nil, errors.New("boost: zero total weight")
+	}
+	for i := range dist {
+		dist[i] /= total
+	}
+
+	e := &Ensemble{}
+	for round := 0; round < cfg.Rounds; round++ {
+		tree, err := cart.TrainClassifier(x, y, dist, params)
+		if err != nil {
+			return nil, fmt.Errorf("boost: round %d: %w", round, err)
+		}
+		// Weighted error of this learner.
+		eps := 0.0
+		for i := 0; i < n; i++ {
+			if tree.Predict(x[i]) != y[i] {
+				eps += dist[i]
+			}
+		}
+		if eps >= 0.5-1e-9 {
+			// No better than chance under the current distribution.
+			if len(e.Trees) == 0 {
+				// Keep one learner so the ensemble is usable.
+				e.Trees = append(e.Trees, tree)
+				e.Alphas = append(e.Alphas, 1)
+			}
+			break
+		}
+		if eps <= 1e-12 {
+			// Perfect learner: give it a large but finite weight.
+			e.Trees = append(e.Trees, tree)
+			e.Alphas = append(e.Alphas, 12)
+			break
+		}
+		alpha := 0.5 * math.Log((1-eps)/eps)
+		e.Trees = append(e.Trees, tree)
+		e.Alphas = append(e.Alphas, alpha)
+
+		// Reweight: mistakes up, hits down; renormalize.
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if tree.Predict(x[i]) != y[i] {
+				dist[i] *= math.Exp(alpha)
+			} else {
+				dist[i] *= math.Exp(-alpha)
+			}
+			sum += dist[i]
+		}
+		for i := range dist {
+			dist[i] /= sum
+		}
+	}
+	if len(e.Trees) == 0 {
+		return nil, errors.New("boost: no learners trained")
+	}
+	return e, nil
+}
+
+// Predict returns the weighted vote balance in [−1, +1] (negative =
+// failed).
+func (e *Ensemble) Predict(x []float64) float64 {
+	var score, total float64
+	for i, t := range e.Trees {
+		score += e.Alphas[i] * t.Predict(x)
+		total += e.Alphas[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return score / total
+}
+
+// PredictFailed reports whether the ensemble classifies x as failed.
+func (e *Ensemble) PredictFailed(x []float64) bool { return e.Predict(x) < 0 }
+
+// Rounds returns the number of trained learners.
+func (e *Ensemble) Rounds() int { return len(e.Trees) }

@@ -1,0 +1,192 @@
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{
+		Kind:         t.Kind,
+		NumFeatures:  t.NumFeatures,
+		FeatureNames: append([]string(nil), t.FeatureNames...),
+	}
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		if n == nil {
+			return nil
+		}
+		c := *n
+		c.Left = cp(n.Left)
+		c.Right = cp(n.Right)
+		return &c
+	}
+	out.Root = cp(t.Root)
+	return out
+}
+
+// CPEntry is one level of the nested pruning sequence.
+type CPEntry struct {
+	// CP is the complexity threshold that produces this tree size
+	// (pruning with any cp in (CP, nextCP] yields the same tree).
+	CP float64
+	// Leaves and Nodes are the resulting tree size.
+	Leaves, Nodes int
+}
+
+// CPTable returns the tree's nested pruning sequence, from the tree as-is
+// (CP 0) up to a lone root — the rpart-style table operators use to pick a
+// complexity parameter. Entries are strictly decreasing in size.
+func (t *Tree) CPTable() []CPEntry {
+	// Collect distinct split gains.
+	gains := map[float64]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		gains[n.Gain] = true
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	sorted := make([]float64, 0, len(gains))
+	for g := range gains {
+		sorted = append(sorted, g)
+	}
+	sort.Float64s(sorted)
+
+	var out []CPEntry
+	record := func(cp float64) {
+		work := t.Clone()
+		Prune(work, cp)
+		e := CPEntry{CP: cp, Leaves: work.NumLeaves(), Nodes: work.NumNodes()}
+		if len(out) == 0 || out[len(out)-1].Nodes != e.Nodes {
+			out = append(out, e)
+		}
+	}
+	record(0)
+	for _, g := range sorted {
+		record(nextAfter(g))
+	}
+	return out
+}
+
+// nextAfter nudges a gain up so pruning strictly removes splits at that
+// gain.
+func nextAfter(g float64) float64 {
+	return g * (1 + 1e-12)
+}
+
+// CVResult is one evaluated complexity parameter.
+type CVResult struct {
+	// CP is the candidate threshold.
+	CP float64
+	// Loss is the mean held-out loss: the weighted misclassification
+	// cost (classification, honouring the loss matrix) or the weighted
+	// squared error (regression), per unit weight.
+	Loss float64
+}
+
+// CrossValidateCP estimates the held-out loss of each candidate CP by
+// k-fold cross-validation and returns the evaluated list (sorted as given)
+// plus the best CP. This is how the paper's CP = 0.001 style of setting
+// would be derived from data rather than convention.
+func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
+	folds int, cps []float64, seed int64) ([]CVResult, float64, error) {
+	if folds < 2 {
+		return nil, 0, fmt.Errorf("cart: need ≥ 2 folds, got %d", folds)
+	}
+	if len(cps) == 0 {
+		return nil, 0, errors.New("cart: no candidate CPs")
+	}
+	if len(x) < folds {
+		return nil, 0, fmt.Errorf("cart: %d samples cannot fill %d folds", len(x), folds)
+	}
+	if w == nil {
+		w = make([]float64, len(x))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	p = p.withDefaults()
+
+	// Shuffled fold assignment.
+	rng := rand.New(rand.NewSource(seed))
+	fold := make([]int, len(x))
+	for i := range fold {
+		fold[i] = i % folds
+	}
+	rng.Shuffle(len(fold), func(i, j int) { fold[i], fold[j] = fold[j], fold[i] })
+
+	losses := make([]float64, len(cps))
+	weights := make([]float64, len(cps))
+	for f := 0; f < folds; f++ {
+		var tx [][]float64
+		var ty, tw []float64
+		var vi []int
+		for i := range x {
+			if fold[i] == f {
+				vi = append(vi, i)
+			} else {
+				tx = append(tx, x[i])
+				ty = append(ty, y[i])
+				tw = append(tw, w[i])
+			}
+		}
+		if len(vi) == 0 || len(tx) == 0 {
+			continue
+		}
+		// Grow once with minimal pruning, then prune per candidate.
+		grow := p
+		grow.CP = 1e-12
+		var full *Tree
+		var err error
+		if kind == Classification {
+			full, err = TrainClassifier(tx, ty, tw, grow)
+		} else {
+			full, err = TrainRegressor(tx, ty, tw, grow)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("cart: CV fold %d: %w", f, err)
+		}
+		for ci, cp := range cps {
+			work := full.Clone()
+			Prune(work, cp)
+			for _, i := range vi {
+				pred := work.Predict(x[i])
+				switch kind {
+				case Classification:
+					if pred != y[i] {
+						cost := p.LossMiss
+						if y[i] > 0 {
+							cost = p.LossFA // good sample flagged failed
+						}
+						losses[ci] += w[i] * cost
+					}
+				default:
+					d := pred - y[i]
+					losses[ci] += w[i] * d * d
+				}
+				weights[ci] += w[i]
+			}
+		}
+	}
+
+	out := make([]CVResult, len(cps))
+	bestIdx := 0
+	for i, cp := range cps {
+		loss := losses[i]
+		if weights[i] > 0 {
+			loss /= weights[i]
+		}
+		out[i] = CVResult{CP: cp, Loss: loss}
+		if loss < out[bestIdx].Loss {
+			bestIdx = i
+		}
+	}
+	return out, out[bestIdx].CP, nil
+}

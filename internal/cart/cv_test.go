@@ -1,0 +1,140 @@
+package cart
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClonePredictsIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	x, y := randomDataset(rng, 500)
+	tree, err := TrainClassifier(x, y, nil, Params{CP: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.FeatureNames = []string{"a", "b"}
+	clone := tree.Clone()
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		if tree.Predict(p) != clone.Predict(p) {
+			t.Fatal("clone predicts differently")
+		}
+	}
+	// Mutating the clone must not touch the original.
+	n := tree.NumNodes()
+	Prune(clone, 1)
+	if tree.NumNodes() != n {
+		t.Error("pruning the clone changed the original")
+	}
+	if clone.NumNodes() >= n {
+		t.Error("clone was not pruned")
+	}
+	clone.FeatureNames[0] = "zzz"
+	if tree.FeatureNames[0] != "a" {
+		t.Error("feature names are shared")
+	}
+}
+
+func TestCPTableNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x, y := randomDataset(rng, 800)
+	tree, err := TrainClassifier(x, y, nil, Params{MinSplit: 4, MinBucket: 2, CP: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := tree.CPTable()
+	if len(table) < 3 {
+		t.Fatalf("CP table too small: %+v", table)
+	}
+	if table[0].CP != 0 || table[0].Nodes != tree.NumNodes() {
+		t.Errorf("first entry should be the unpruned tree: %+v", table[0])
+	}
+	last := table[len(table)-1]
+	if last.Leaves != 1 || last.Nodes != 1 {
+		t.Errorf("last entry should be the lone root: %+v", last)
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i].Nodes >= table[i-1].Nodes {
+			t.Fatalf("table not strictly shrinking at %d: %+v", i, table)
+		}
+		if table[i].CP <= table[i-1].CP {
+			t.Fatalf("table CPs not increasing at %d: %+v", i, table)
+		}
+	}
+	// The tree itself must be untouched.
+	if tree.NumNodes() != table[0].Nodes {
+		t.Error("CPTable mutated the tree")
+	}
+}
+
+func TestCrossValidatePicksReasonableCP(t *testing.T) {
+	// Noisy step data: tiny CP overfits, huge CP underfits; CV should
+	// pick something in between that beats both extremes on fresh data.
+	rng := rand.New(rand.NewSource(32))
+	x, y := randomDataset(rng, 1200)
+	cps := []float64{1e-9, 1e-4, 1e-3, 1e-2, 0.3}
+	results, best, err := CrossValidateCP(x, y, nil, Params{MinSplit: 4, MinBucket: 2}, Classification, 5, cps, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cps) {
+		t.Fatalf("results = %d", len(results))
+	}
+	if best == 0.3 {
+		t.Errorf("CV picked the root-only CP; losses: %+v", results)
+	}
+	// The best CP's loss is minimal by construction; sanity-check it is
+	// at most the extremes'.
+	var bestLoss, loA, loB float64
+	for _, r := range results {
+		if r.CP == best {
+			bestLoss = r.Loss
+		}
+		if r.CP == 1e-9 {
+			loA = r.Loss
+		}
+		if r.CP == 0.3 {
+			loB = r.Loss
+		}
+	}
+	if bestLoss > loA || bestLoss > loB {
+		t.Errorf("best loss %v exceeds an extreme (%v, %v)", bestLoss, loA, loB)
+	}
+}
+
+func TestCrossValidateRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		target := 0.0
+		if v > 0.5 {
+			target = 1
+		}
+		y = append(y, target+rng.NormFloat64()*0.2)
+	}
+	results, best, err := CrossValidateCP(x, y, nil, Params{}, Regression, 4,
+		[]float64{1e-6, 1e-2, 0.9}, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == 0.9 {
+		t.Errorf("regression CV picked the stump CP; %+v", results)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, -1, 1}
+	if _, _, err := CrossValidateCP(x, y, nil, Params{}, Classification, 1, []float64{0.1}, 0); err == nil {
+		t.Error("folds < 2 accepted")
+	}
+	if _, _, err := CrossValidateCP(x, y, nil, Params{}, Classification, 2, nil, 0); err == nil {
+		t.Error("empty CP list accepted")
+	}
+	if _, _, err := CrossValidateCP(x, y, nil, Params{}, Classification, 5, []float64{0.1}, 0); err == nil {
+		t.Error("more folds than samples accepted")
+	}
+}

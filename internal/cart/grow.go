@@ -1,0 +1,381 @@
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TrainClassifier grows and prunes a classification tree (the paper's
+// Algorithm 1). y holds ±1 targets (+1 good, −1 failed); w holds per-sample
+// weights (nil means all 1). The loss weights in p implement the paper's
+// asymmetric error costs: a node is labelled failed only when the
+// loss-weighted failed mass exceeds the loss-weighted good mass, and splits
+// optimize information gain over the loss-adjusted distribution (the
+// "altered priors" formulation of misclassification costs).
+func TrainClassifier(x [][]float64, y, w []float64, p Params) (*Tree, error) {
+	return train(x, y, w, p, Classification)
+}
+
+// TrainRegressor grows and prunes a regression tree (Algorithm 2). y holds
+// real-valued targets (health degrees); splits minimize the within-node sum
+// of squares.
+func TrainRegressor(x [][]float64, y, w []float64, p Params) (*Tree, error) {
+	return train(x, y, w, p, Regression)
+}
+
+func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
+	p = p.withDefaults()
+	if len(x) == 0 {
+		return nil, errors.New("cart: empty training set")
+	}
+	if len(y) != len(x) {
+		return nil, fmt.Errorf("cart: %d samples but %d targets", len(x), len(y))
+	}
+	if w == nil {
+		w = make([]float64, len(x))
+		for i := range w {
+			w[i] = 1
+		}
+	} else if len(w) != len(x) {
+		return nil, fmt.Errorf("cart: %d samples but %d weights", len(x), len(w))
+	}
+	nf := len(x[0])
+	if nf == 0 {
+		return nil, errors.New("cart: zero-length feature vectors")
+	}
+	for i := range x {
+		if len(x[i]) != nf {
+			return nil, fmt.Errorf("cart: ragged feature matrix at row %d", i)
+		}
+		if w[i] < 0 {
+			return nil, fmt.Errorf("cart: negative weight at row %d", i)
+		}
+		if kind == Classification && y[i] != 1 && y[i] != -1 {
+			return nil, fmt.Errorf("cart: classification target %v at row %d (want ±1)", y[i], i)
+		}
+	}
+
+	if p.MTry < 0 || p.MTry > nf {
+		return nil, fmt.Errorf("cart: MTry %d outside [0,%d]", p.MTry, nf)
+	}
+	g := &grower{x: x, y: y, w: w, p: p, kind: kind, nf: nf}
+	if p.MTry > 0 && p.MTry < nf {
+		g.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	if kind == Classification {
+		// Loss-adjusted effective weights (altered priors).
+		g.eff = make([]float64, len(w))
+		for i := range w {
+			if y[i] < 0 {
+				g.eff[i] = w[i] * p.LossMiss
+			} else {
+				g.eff[i] = w[i] * p.LossFA
+			}
+		}
+	} else {
+		g.eff = w
+	}
+
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	g.rootTotal = g.totalImpurity(idx)
+	g.inLeft = make([]bool, len(x))
+
+	// Presort every feature column once; splits partition the orderings
+	// stably, so no node ever sorts again (the classic CART presort
+	// optimization: O(F·n·log n) total instead of per node).
+	cols := make([][]int32, nf)
+	for f := 0; f < nf; f++ {
+		col := make([]int32, len(x))
+		for i := range col {
+			col[i] = int32(i)
+		}
+		sort.SliceStable(col, func(a, b int) bool { return x[col[a]][f] < x[col[b]][f] })
+		cols[f] = col
+	}
+
+	root := g.grow(cols, 1)
+	t := &Tree{Root: root, Kind: kind, NumFeatures: nf}
+	Prune(t, p.CP)
+	return t, nil
+}
+
+// grower holds the shared training state.
+type grower struct {
+	x         [][]float64
+	y         []float64
+	w         []float64 // raw weights (reporting)
+	eff       []float64 // loss-adjusted weights (splitting/labelling)
+	p         Params
+	kind      Kind
+	nf        int
+	rootTotal float64    // root impurity mass; normalizes gains
+	rng       *rand.Rand // non-nil only when MTry sampling is active
+	inLeft    []bool     // scratch: left-membership during partitioning
+}
+
+// splitFeatures returns the features to search at one node: all of them,
+// or a fresh MTry-sized sample.
+func (g *grower) splitFeatures() []int {
+	if g.rng == nil {
+		feats := make([]int, g.nf)
+		for i := range feats {
+			feats[i] = i
+		}
+		return feats
+	}
+	perm := g.rng.Perm(g.nf)
+	return perm[:g.p.MTry]
+}
+
+// nodeStats summarizes the samples at a node.
+type nodeStats struct {
+	n         int
+	wRaw      float64
+	effGood   float64 // classification: loss-adjusted class masses
+	effFailed float64
+	rawFailed float64
+	sumW      float64 // regression: Σw, Σwy, Σwy²
+	sumWY     float64
+	sumWY2    float64
+}
+
+func (g *grower) stats(idx []int) nodeStats {
+	var s nodeStats
+	s.n = len(idx)
+	for _, i := range idx {
+		s.wRaw += g.w[i]
+		if g.kind == Classification {
+			if g.y[i] < 0 {
+				s.effFailed += g.eff[i]
+				s.rawFailed += g.w[i]
+			} else {
+				s.effGood += g.eff[i]
+			}
+		} else {
+			wy := g.eff[i] * g.y[i]
+			s.sumW += g.eff[i]
+			s.sumWY += wy
+			s.sumWY2 += wy * g.y[i]
+		}
+	}
+	return s
+}
+
+// entropy is the paper's Formula (2) over the loss-adjusted two-class
+// distribution.
+func entropy(a, b float64) float64 {
+	total := a + b
+	if total <= 0 || a <= 0 || b <= 0 {
+		return 0
+	}
+	p := a / total
+	q := b / total
+	return -p*math.Log2(p) - q*math.Log2(q)
+}
+
+// impurityMass is the node's impurity scaled by its weight: W·info(D) for
+// classification, the within-node sum of squares for regression.
+func (s nodeStats) impurityMass(kind Kind) float64 {
+	if kind == Classification {
+		return (s.effGood + s.effFailed) * entropy(s.effGood, s.effFailed)
+	}
+	if s.sumW <= 0 {
+		return 0
+	}
+	ss := s.sumWY2 - s.sumWY*s.sumWY/s.sumW
+	if ss < 0 { // numeric noise
+		ss = 0
+	}
+	return ss
+}
+
+func (g *grower) totalImpurity(idx []int) float64 {
+	m := g.stats(idx).impurityMass(g.kind)
+	if m <= 0 {
+		return 1 // pure root: normalization is irrelevant, avoid div-by-0
+	}
+	return m
+}
+
+// makeLeafNode fills prediction fields from stats.
+func (g *grower) makeNode(s nodeStats) *Node {
+	n := &Node{N: s.n, W: s.wRaw}
+	if g.kind == Classification {
+		if s.effFailed > s.effGood {
+			n.Value = -1
+		} else {
+			n.Value = +1
+		}
+		if s.wRaw > 0 {
+			n.PFailed = s.rawFailed / s.wRaw
+		}
+	} else {
+		if s.sumW > 0 {
+			n.Value = s.sumWY / s.sumW
+		}
+	}
+	return n
+}
+
+// split describes the best split found for a node.
+type split struct {
+	feature   int
+	threshold float64
+	gain      float64 // relative to rootTotal
+	cut       int     // left size within the feature's ordering
+}
+
+// grow implements the recursive partitioning loop of Algorithms 1 and 2
+// over presorted feature columns: cols[f] lists the node's sample indices
+// in increasing order of feature f.
+func (g *grower) grow(cols [][]int32, depth int) *Node {
+	idx := cols[0]
+	s := g.statsCol(idx)
+	node := g.makeNode(s)
+	if s.n < g.p.MinSplit || depth >= g.p.MaxDepth {
+		return node
+	}
+	parentMass := s.impurityMass(g.kind)
+	if parentMass <= 1e-12 {
+		return node // pure node
+	}
+	best := g.bestSplit(cols, s, parentMass)
+	if best == nil {
+		return node
+	}
+	node.Feature = best.feature
+	node.Threshold = best.threshold
+	node.Gain = best.gain
+	left, right := g.partition(cols, best)
+	node.Left = g.grow(left, depth+1)
+	node.Right = g.grow(right, depth+1)
+	return node
+}
+
+// statsCol is stats over an int32 index slice.
+func (g *grower) statsCol(idx []int32) nodeStats {
+	var s nodeStats
+	s.n = len(idx)
+	for _, i := range idx {
+		s.wRaw += g.w[i]
+		if g.kind == Classification {
+			if g.y[i] < 0 {
+				s.effFailed += g.eff[i]
+				s.rawFailed += g.w[i]
+			} else {
+				s.effGood += g.eff[i]
+			}
+		} else {
+			wy := g.eff[i] * g.y[i]
+			s.sumW += g.eff[i]
+			s.sumWY += wy
+			s.sumWY2 += wy * g.y[i]
+		}
+	}
+	return s
+}
+
+// bestSplit scans each (selected) presorted column once for the split
+// maximizing the impurity decrease, honouring MinBucket. It returns nil
+// when no split improves impurity.
+func (g *grower) bestSplit(cols [][]int32, all nodeStats, parentMass float64) *split {
+	var best *split
+	for _, f := range g.splitFeatures() {
+		order := cols[f]
+		var left nodeStats
+		for cut := 1; cut < len(order); cut++ {
+			i := order[cut-1]
+			left.n++
+			left.wRaw += g.w[i]
+			if g.kind == Classification {
+				if g.y[i] < 0 {
+					left.effFailed += g.eff[i]
+					left.rawFailed += g.w[i]
+				} else {
+					left.effGood += g.eff[i]
+				}
+			} else {
+				wy := g.eff[i] * g.y[i]
+				left.sumW += g.eff[i]
+				left.sumWY += wy
+				left.sumWY2 += wy * g.y[i]
+			}
+			v, next := g.x[i][f], g.x[order[cut]][f]
+			if v == next {
+				continue // not a boundary between distinct values
+			}
+			if left.n < g.p.MinBucket || len(order)-left.n < g.p.MinBucket {
+				continue
+			}
+			right := subtractStats(all, left, g.kind)
+			gainAbs := parentMass - left.impurityMass(g.kind) - right.impurityMass(g.kind)
+			rel := gainAbs / g.rootTotal
+			if rel <= 1e-12 {
+				continue
+			}
+			if best == nil || rel > best.gain {
+				if best == nil {
+					best = &split{}
+				}
+				best.feature = f
+				best.threshold = v + (next-v)/2
+				best.gain = rel
+				best.cut = cut
+			}
+		}
+	}
+	return best
+}
+
+// partition splits every presorted column stably according to the chosen
+// split, so children inherit sorted columns without re-sorting.
+func (g *grower) partition(cols [][]int32, best *split) (left, right [][]int32) {
+	chosen := cols[best.feature]
+	for _, i := range chosen[:best.cut] {
+		g.inLeft[i] = true
+	}
+	left = make([][]int32, g.nf)
+	right = make([][]int32, g.nf)
+	nLeft := best.cut
+	nRight := len(chosen) - best.cut
+	for f := 0; f < g.nf; f++ {
+		l := make([]int32, 0, nLeft)
+		r := make([]int32, 0, nRight)
+		for _, i := range cols[f] {
+			if g.inLeft[i] {
+				l = append(l, i)
+			} else {
+				r = append(r, i)
+			}
+		}
+		left[f], right[f] = l, r
+	}
+	for _, i := range chosen[:best.cut] {
+		g.inLeft[i] = false
+	}
+	return left, right
+}
+
+// subtractStats computes right = all − left.
+func subtractStats(all, left nodeStats, kind Kind) nodeStats {
+	r := nodeStats{
+		n:    all.n - left.n,
+		wRaw: all.wRaw - left.wRaw,
+	}
+	if kind == Classification {
+		r.effGood = all.effGood - left.effGood
+		r.effFailed = all.effFailed - left.effFailed
+		r.rawFailed = all.rawFailed - left.rawFailed
+	} else {
+		r.sumW = all.sumW - left.sumW
+		r.sumWY = all.sumWY - left.sumWY
+		r.sumWY2 = all.sumWY2 - left.sumWY2
+	}
+	return r
+}

@@ -1,0 +1,97 @@
+package cart
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// jsonTree is the wire form of a Tree. Nodes are flattened pre-order into
+// an array with child indices, which keeps decoding non-recursive and
+// rejects cycles by construction.
+type jsonTree struct {
+	Kind         Kind       `json:"kind"`
+	NumFeatures  int        `json:"numFeatures"`
+	FeatureNames []string   `json:"featureNames,omitempty"`
+	Nodes        []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	Feature   int     `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	// Left/Right are node-array indices; -1 marks a leaf.
+	Left    int     `json:"left"`
+	Right   int     `json:"right"`
+	Value   float64 `json:"value"`
+	PFailed float64 `json:"pFailed"`
+	N       int     `json:"n"`
+	W       float64 `json:"w"`
+	Gain    float64 `json:"gain"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	jt := jsonTree{Kind: t.Kind, NumFeatures: t.NumFeatures, FeatureNames: t.FeatureNames}
+	var flatten func(n *Node) int
+	flatten = func(n *Node) int {
+		if n == nil {
+			return -1
+		}
+		at := len(jt.Nodes)
+		jt.Nodes = append(jt.Nodes, jsonNode{
+			Feature: n.Feature, Threshold: n.Threshold,
+			Left: -1, Right: -1,
+			Value: n.Value, PFailed: n.PFailed, N: n.N, W: n.W, Gain: n.Gain,
+		})
+		jt.Nodes[at].Left = flatten(n.Left)
+		jt.Nodes[at].Right = flatten(n.Right)
+		return at
+	}
+	flatten(t.Root)
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var jt jsonTree
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return fmt.Errorf("cart: decode tree: %w", err)
+	}
+	if jt.Kind != Classification && jt.Kind != Regression {
+		return fmt.Errorf("cart: bad tree kind %d", jt.Kind)
+	}
+	if len(jt.Nodes) == 0 {
+		return errors.New("cart: tree has no nodes")
+	}
+	nodes := make([]Node, len(jt.Nodes))
+	for i, jn := range jt.Nodes {
+		nodes[i] = Node{
+			Feature: jn.Feature, Threshold: jn.Threshold,
+			Value: jn.Value, PFailed: jn.PFailed, N: jn.N, W: jn.W, Gain: jn.Gain,
+		}
+		for _, child := range []int{jn.Left, jn.Right} {
+			// Pre-order flattening guarantees children come after
+			// their parent; enforcing that rejects cycles.
+			if child != -1 && (child <= i || child >= len(jt.Nodes)) {
+				return fmt.Errorf("cart: node %d has bad child index %d", i, child)
+			}
+		}
+		if (jn.Left == -1) != (jn.Right == -1) {
+			return fmt.Errorf("cart: node %d has exactly one child", i)
+		}
+	}
+	for i, jn := range jt.Nodes {
+		if jn.Left != -1 {
+			nodes[i].Left = &nodes[jn.Left]
+			nodes[i].Right = &nodes[jn.Right]
+		}
+		if jn.Feature < 0 || (jn.Left != -1 && jn.Feature >= jt.NumFeatures) {
+			return fmt.Errorf("cart: node %d splits on feature %d of %d", i, jn.Feature, jt.NumFeatures)
+		}
+	}
+	t.Root = &nodes[0]
+	t.Kind = jt.Kind
+	t.NumFeatures = jt.NumFeatures
+	t.FeatureNames = jt.FeatureNames
+	return nil
+}

@@ -1,0 +1,189 @@
+package cart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDataset draws a dataset with an informative feature and label
+// noise.
+func randomDataset(rng *rand.Rand, n int) (x [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		label := 1.0
+		if a < 0.45 {
+			label = -1
+		}
+		if rng.Float64() < 0.1 {
+			label = -label
+		}
+		y = append(y, label)
+	}
+	return x, y
+}
+
+// TestWeightScalingInvariance: multiplying every sample weight by the same
+// positive constant must not change the tree (information gain and loss
+// comparisons are scale-free).
+func TestWeightScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x, y := randomDataset(rng, 600)
+	w1 := make([]float64, len(x))
+	w2 := make([]float64, len(x))
+	for i := range w1 {
+		w1[i] = 0.5 + rng.Float64()
+		w2[i] = w1[i] * 37.5
+	}
+	t1, err := TrainClassifier(x, y, w1, Params{LossFA: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := TrainClassifier(x, y, w2, Params{LossFA: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		if t1.Predict(p) != t2.Predict(p) {
+			t.Fatalf("weight scaling changed prediction at %v", p)
+		}
+	}
+}
+
+// TestPruningMonotone: a larger CP can only shrink the tree.
+func TestPruningMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := randomDataset(rng, 800)
+	prev := math.MaxInt
+	for _, cp := range []float64{1e-9, 1e-4, 1e-3, 1e-2, 1e-1} {
+		tree, err := TrainClassifier(x, y, nil, Params{MinSplit: 4, MinBucket: 2, CP: cp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tree.NumNodes()
+		if n > prev {
+			t.Fatalf("cp=%v grew the tree: %d > %d nodes", cp, n, prev)
+		}
+		prev = n
+	}
+}
+
+// TestRegressionPredictionsWithinTargetRange: leaf values are weighted
+// means, so every prediction must lie inside [min(y), max(y)].
+func TestRegressionPredictionsWithinTargetRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var x [][]float64
+	var y []float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 700; i++ {
+		v := rng.NormFloat64()
+		x = append(x, []float64{v, rng.NormFloat64()})
+		target := v*v + rng.NormFloat64()
+		y = append(y, target)
+		lo = math.Min(lo, target)
+		hi = math.Max(hi, target)
+	}
+	tree, err := TrainRegressor(x, y, nil, Params{CP: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		p := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		got := tree.Predict(p)
+		if got < lo-1e-9 || got > hi+1e-9 {
+			t.Fatalf("prediction %v outside target range [%v, %v]", got, lo, hi)
+		}
+	}
+}
+
+// TestLeafCountsPartitionSamples: the leaves' sample counts must sum to
+// the training-set size (every sample lands in exactly one leaf).
+func TestLeafCountsPartitionSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := randomDataset(rng, 900)
+	tree, err := TrainClassifier(x, y, nil, Params{CP: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			sum += n.N
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+	if sum != len(x) {
+		t.Errorf("leaf counts sum to %d, want %d", sum, len(x))
+	}
+}
+
+// TestInternalCountsEqualChildren: each internal node's count equals its
+// children's sum (split partitions the node).
+func TestInternalCountsEqualChildren(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	x, y := randomDataset(rng, 900)
+	tree, err := TrainClassifier(x, y, nil, Params{CP: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		if n.N != n.Left.N+n.Right.N {
+			t.Fatalf("node count %d != %d + %d", n.N, n.Left.N, n.Right.N)
+		}
+		if math.Abs(n.W-(n.Left.W+n.Right.W)) > 1e-9 {
+			t.Fatalf("node weight %v != children sum", n.W)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+}
+
+// TestRulesCoverEveryPoint: exactly one rule matches any input.
+func TestRulesCoverEveryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x, y := randomDataset(rng, 500)
+	tree, err := TrainClassifier(x, y, nil, Params{CP: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules(false)
+	matches := func(r Rule, p []float64) bool {
+		for _, c := range r.Conditions {
+			if c.Less != (p[c.Feature] < c.Threshold) {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		count := 0
+		var val float64
+		for _, r := range rules {
+			if matches(r, p) {
+				count++
+				val = r.Value
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%d rules match %v, want exactly 1", count, p)
+		}
+		if val != tree.Predict(p) {
+			t.Fatalf("rule value %v disagrees with Predict %v", val, tree.Predict(p))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package cart
+
+// Prune removes, bottom-up, every subtree whose split gain falls below cp
+// (the second phase of the paper's Algorithms 1 and 2: "if the gain induced
+// by P's split is less than CP then prune back the entire sub-tree rooted
+// at P"). Gains are the relative impurity decreases recorded at training
+// time, so Prune can be re-applied with a larger cp to shrink an existing
+// tree without retraining.
+func Prune(t *Tree, cp float64) {
+	pruneNode(t.Root, cp)
+}
+
+// pruneNode returns whether n is (now) a leaf.
+func pruneNode(n *Node, cp float64) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	pruneNode(n.Left, cp)
+	pruneNode(n.Right, cp)
+	if n.Gain < cp {
+		// The whole subtree rooted here is not worthwhile.
+		n.Left, n.Right = nil, nil
+		n.Gain = 0
+		return
+	}
+	// A split whose children both predict the same value adds nothing
+	// either (this happens when pruning removed the children's own
+	// structure); collapse it to keep trees minimal and readable.
+	if n.Left.IsLeaf() && n.Right.IsLeaf() && n.Left.Value == n.Right.Value {
+		n.Left, n.Right = nil, nil
+		n.Gain = 0
+	}
+}

@@ -1,0 +1,355 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hddcart/internal/smart"
+)
+
+// flatTrace builds a trace over [start,end) hours with constant values.
+func flatTrace(start, end int) []smart.Record {
+	trace := make([]smart.Record, 0, end-start)
+	for h := start; h < end; h++ {
+		var r smart.Record
+		r.Hour = h
+		for i := range r.Normalized {
+			r.Normalized[i] = 100
+		}
+		trace = append(trace, r)
+	}
+	return trace
+}
+
+func testConfig() Config {
+	return Config{
+		Features:    smart.BasicFeatures(),
+		PeriodStart: 0,
+		PeriodEnd:   168,
+		Seed:        7,
+	}
+}
+
+func TestNewBuilderValidation(t *testing.T) {
+	bad := []Config{
+		{},                                // empty features
+		{Features: smart.BasicFeatures()}, // empty period
+		{Features: smart.BasicFeatures(), PeriodEnd: 10, GoodTrainFrac: 1.5},
+		{Features: smart.BasicFeatures(), PeriodEnd: 10, FailedShare: 1},
+		{Features: smart.BasicFeatures(), PeriodEnd: 10, FailedShare: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBuilder(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := NewBuilder(testConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestTrainCutoff(t *testing.T) {
+	if got := TrainCutoff(0, 168, 0.7); got != 117 {
+		t.Errorf("TrainCutoff = %d, want 117", got)
+	}
+	if got := TrainCutoff(168, 336, 0.5); got != 252 {
+		t.Errorf("TrainCutoff = %d, want 252", got)
+	}
+}
+
+func TestAddGoodDrivePicksFromTrainPortion(t *testing.T) {
+	b, err := NewBuilder(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := flatTrace(0, 168)
+	n := b.AddGoodDrive(1, trace)
+	if n != 3 {
+		t.Fatalf("added %d good samples, want 3", n)
+	}
+	ds, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := TrainCutoff(0, 168, 0.7)
+	for _, s := range ds.Samples {
+		if s.Hour >= cutoff {
+			t.Errorf("good training sample at hour %d ≥ cutoff %d", s.Hour, cutoff)
+		}
+		if s.Failed || s.Target != 1 || s.HoursToFail != -1 {
+			t.Errorf("bad good sample: %+v", s)
+		}
+		if len(s.X) != len(smart.BasicFeatures()) {
+			t.Errorf("feature vector length %d", len(s.X))
+		}
+	}
+}
+
+func TestAddGoodDriveOutsidePeriod(t *testing.T) {
+	b, _ := NewBuilder(testConfig())
+	if n := b.AddGoodDrive(1, flatTrace(500, 600)); n != 0 {
+		t.Errorf("added %d samples from outside the period", n)
+	}
+}
+
+func TestAddGoodDriveChangeRateLookback(t *testing.T) {
+	cfg := testConfig()
+	cfg.Features = smart.CriticalFeatures() // has 6-hour change rates
+	cfg.SamplesPerGoodDrive = 1000          // take everything available
+	b, _ := NewBuilder(cfg)
+	// Trace of 10 records: the first 6 h of history cannot produce
+	// change rates, so at most 4 samples are extractable.
+	n := b.AddGoodDrive(1, flatTrace(0, 10))
+	if n != 4 {
+		t.Errorf("added %d, want 4 (6h lookback excludes first 6 records)", n)
+	}
+}
+
+func TestAddFailedDriveWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailedWindowHours = 24
+	b, _ := NewBuilder(cfg)
+	failHour := 480
+	trace := flatTrace(0, failHour)
+	n := b.AddFailedTrainingDrive(9, failHour, trace)
+	if n != 24 { // hours 456..479 (lead 1..24); lead 0 has no record
+		t.Fatalf("added %d failed samples, want 24", n)
+	}
+	ds, _ := b.Finalize()
+	for _, s := range ds.Samples {
+		if !s.Failed || s.Target != -1 {
+			t.Errorf("bad failed sample: %+v", s)
+		}
+		if s.HoursToFail < 0 || s.HoursToFail > 24 {
+			t.Errorf("HoursToFail = %d outside window", s.HoursToFail)
+		}
+	}
+}
+
+func TestAddFailedDriveRespectsSplit(t *testing.T) {
+	cfg := testConfig()
+	b, _ := NewBuilder(cfg)
+	// Find one train-split and one test-split drive ID.
+	trainID, testID := -1, -1
+	for id := 0; id < 1000 && (trainID == -1 || testID == -1); id++ {
+		if IsTrainFailedDrive(cfg.Seed, id, 0.7) {
+			if trainID == -1 {
+				trainID = id
+			}
+		} else if testID == -1 {
+			testID = id
+		}
+	}
+	trace := flatTrace(312, 480)
+	if n := b.AddFailedDrive(trainID, 480, trace); n == 0 {
+		t.Error("train-split drive contributed nothing")
+	}
+	if n := b.AddFailedDrive(testID, 480, trace); n != 0 {
+		t.Error("test-split drive contributed samples")
+	}
+}
+
+func TestIsTrainFailedDriveFraction(t *testing.T) {
+	n := 20000
+	in := 0
+	for id := 0; id < n; id++ {
+		if IsTrainFailedDrive(3, id, 0.7) {
+			in++
+		}
+	}
+	frac := float64(in) / float64(n)
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("train fraction = %.3f, want ≈ 0.7", frac)
+	}
+}
+
+func TestIsTrainFailedDriveDeterministic(t *testing.T) {
+	err := quick.Check(func(seed int64, id uint16) bool {
+		a := IsTrainFailedDrive(seed, int(id), 0.7)
+		b := IsTrainFailedDrive(seed, int(id), 0.7)
+		return a == b
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailedSamplesPerDriveCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailedWindowHours = 168
+	cfg.FailedSamplesPerDrive = 12
+	b, _ := NewBuilder(cfg)
+	n := b.AddFailedTrainingDrive(1, 480, flatTrace(0, 480))
+	if n != 12 {
+		t.Errorf("capped failed samples = %d, want 12", n)
+	}
+	ds, _ := b.Finalize()
+	// Evenly spread: leads should span nearly the whole window.
+	minLead, maxLead := math.MaxInt, 0
+	for _, s := range ds.Samples {
+		if s.HoursToFail < minLead {
+			minLead = s.HoursToFail
+		}
+		if s.HoursToFail > maxLead {
+			maxLead = s.HoursToFail
+		}
+	}
+	if maxLead-minLead < 150 {
+		t.Errorf("even spread covers only %d..%d", minLead, maxLead)
+	}
+}
+
+func TestPickEvenly(t *testing.T) {
+	idxs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := pickEvenly(idxs, 3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 9 {
+		t.Errorf("pickEvenly = %v", got)
+	}
+	if got := pickEvenly(idxs, 20); len(got) != 10 {
+		t.Errorf("over-asking should return all, got %d", len(got))
+	}
+}
+
+func TestFinalizeWeighting(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailedShare = 0.2
+	cfg.FailedWindowHours = 24
+	b, _ := NewBuilder(cfg)
+	for id := 0; id < 32; id++ {
+		b.AddGoodDrive(id, flatTrace(0, 168))
+	}
+	b.AddFailedTrainingDrive(100, 480, flatTrace(312, 480))
+	ds, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodW, failW float64
+	for _, s := range ds.Samples {
+		if s.Failed {
+			failW += s.Weight
+		} else {
+			goodW += s.Weight
+		}
+	}
+	share := failW / (failW + goodW)
+	if math.Abs(share-0.2) > 1e-9 {
+		t.Errorf("failed weight share = %v, want 0.2", share)
+	}
+}
+
+func TestFinalizeTwice(t *testing.T) {
+	b, _ := NewBuilder(testConfig())
+	if _, err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finalize(); err == nil {
+		t.Error("second Finalize should fail")
+	}
+}
+
+func TestSetHealthTargets(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{
+		{Drive: 1, Failed: false, Target: 99},
+		{Drive: 2, Failed: true, HoursToFail: 0},
+		{Drive: 2, Failed: true, HoursToFail: 100},
+		{Drive: 3, Failed: true, HoursToFail: 12},
+	}}
+	windows := map[int]int{2: 200}
+	if err := ds.SetHealthTargets(windows, 24); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -1, -0.5, -0.5}
+	for i, w := range want {
+		if got := ds.Samples[i].Target; math.Abs(got-w) > 1e-12 {
+			t.Errorf("sample %d target = %v, want %v", i, got, w)
+		}
+	}
+	if err := ds.SetHealthTargets(nil, 0); err == nil {
+		t.Error("zero default window should be rejected")
+	}
+}
+
+func TestSetHealthTargetsClip(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{{Drive: 1, Failed: true, HoursToFail: 1000}}}
+	if err := ds.SetHealthTargets(map[int]int{1: 100}, 24); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Samples[0].Target != 1 {
+		t.Errorf("target = %v, want clipped to 1", ds.Samples[0].Target)
+	}
+}
+
+func TestSetClassificationTargets(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{
+		{Failed: false, Target: 0.3},
+		{Failed: true, Target: 0.3},
+	}}
+	ds.SetClassificationTargets()
+	if ds.Samples[0].Target != 1 || ds.Samples[1].Target != -1 {
+		t.Errorf("targets = %v, %v", ds.Samples[0].Target, ds.Samples[1].Target)
+	}
+}
+
+func TestXMatrix(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{
+		{X: []float64{1, 2}, Target: 1, Weight: 1},
+		{X: []float64{3, 4}, Target: -1, Weight: 2.5},
+	}}
+	x, y, w := ds.XMatrix()
+	if len(x) != 2 || x[1][0] != 3 || y[1] != -1 || w[1] != 2.5 {
+		t.Errorf("XMatrix = %v %v %v", x, y, w)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{
+		{Drive: 1}, {Drive: 2}, {Drive: 1}, {Drive: 3},
+	}}
+	sub := ds.Subsample(func(d int) bool { return d == 1 })
+	if len(sub.Samples) != 2 {
+		t.Errorf("subsample size = %d, want 2", len(sub.Samples))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	ds := &Dataset{Samples: []Sample{
+		{Failed: true}, {Failed: false}, {Failed: false},
+	}}
+	g, f := ds.Counts()
+	if g != 2 || f != 1 {
+		t.Errorf("Counts = %d, %d", g, f)
+	}
+}
+
+func TestTestStart(t *testing.T) {
+	trace := flatTrace(0, 168)
+	from, to, ok := TestStart(trace, 0, 168, 0.7)
+	if !ok {
+		t.Fatal("TestStart failed")
+	}
+	if trace[from].Hour != 117 {
+		t.Errorf("first test hour = %d, want 117", trace[from].Hour)
+	}
+	if to != len(trace) {
+		t.Errorf("to = %d, want %d", to, len(trace))
+	}
+
+	// Second week of a longer trace.
+	long := flatTrace(0, 400)
+	from, to, ok = TestStart(long, 168, 336, 0.7)
+	if !ok {
+		t.Fatal("TestStart failed on window")
+	}
+	if long[from].Hour != TrainCutoff(168, 336, 0.7) {
+		t.Errorf("first test hour = %d", long[from].Hour)
+	}
+	if long[to-1].Hour != 335 {
+		t.Errorf("last test hour = %d, want 335", long[to-1].Hour)
+	}
+
+	// No test data.
+	if _, _, ok := TestStart(flatTrace(0, 50), 0, 168, 0.7); ok {
+		t.Error("TestStart should fail when trace ends before cutoff")
+	}
+}

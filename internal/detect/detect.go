@@ -1,0 +1,223 @@
+// Package detect turns per-sample model outputs into drive-level failure
+// warnings. It implements the paper's two detection schemes:
+//
+//   - the voting-based algorithm (§V-A3): a drive raises an alarm at the
+//     first time point where more than N/2 of its last N consecutive
+//     samples are classified failed;
+//   - the health-degree scheme (§V-C): a drive raises an alarm when the
+//     average predicted health of its last N samples falls below a
+//     threshold.
+//
+// With N = 1 voting degenerates to the plain sequential scan used before
+// §V-A3 ("predict the drive is going to break down if any sample is
+// classified as failed").
+package detect
+
+import (
+	"hddcart/internal/smart"
+)
+
+// Predictor scores one feature vector: positive values mean healthy,
+// negative values mean failing. Both cart.Tree and ann.Network satisfy it.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// Detector scans a drive's chronological per-sample feature vectors and
+// returns the index of the first alarm, or -1 when the drive passes.
+type Detector interface {
+	Detect(xs [][]float64) int
+}
+
+// Voting is the paper's voting-based detector over a binary classifier.
+type Voting struct {
+	// Model scores samples; a sample votes "failed" when its score is
+	// below Threshold.
+	Model Predictor
+	// Voters is N, the window size. Values < 1 behave as 1.
+	Voters int
+	// Threshold is the per-sample vote cut (0 for ±1 classifiers).
+	Threshold float64
+}
+
+var _ Detector = (*Voting)(nil)
+
+// Detect implements Detector: the first index i (i ≥ N−1) where more than
+// N/2 of samples i−N+1..i vote failed, else -1.
+func (v *Voting) Detect(xs [][]float64) int {
+	n := v.Voters
+	if n < 1 {
+		n = 1
+	}
+	votes := 0
+	window := make([]bool, 0, n)
+	for i, x := range xs {
+		failed := v.Model.Predict(x) < v.Threshold
+		window = append(window, failed)
+		if failed {
+			votes++
+		}
+		if len(window) > n {
+			if window[len(window)-n-1] {
+				votes--
+			}
+		}
+		if i >= n-1 && 2*votes > n {
+			return i
+		}
+	}
+	return -1
+}
+
+// MeanThreshold is the health-degree detector: it alarms when the mean of
+// the last N predicted health degrees drops below Threshold.
+type MeanThreshold struct {
+	// Model predicts health degrees in [−1, +1].
+	Model Predictor
+	// Voters is N, the averaging window. Values < 1 behave as 1.
+	Voters int
+	// Threshold is the alarm cut on the window mean.
+	Threshold float64
+}
+
+var _ Detector = (*MeanThreshold)(nil)
+
+// Detect implements Detector.
+func (m *MeanThreshold) Detect(xs [][]float64) int {
+	n := m.Voters
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	scores := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		s := m.Model.Predict(x)
+		scores = append(scores, s)
+		sum += s
+		if len(scores) > n {
+			sum -= scores[len(scores)-n-1]
+		}
+		if i >= n-1 && sum/float64(n) < m.Threshold {
+			return i
+		}
+	}
+	return -1
+}
+
+// Series is a drive's scored sample sequence: the feature vectors of the
+// records eligible for detection together with their sample hours.
+type Series struct {
+	X     [][]float64
+	Hours []int
+}
+
+// ExtractSeries computes the feature vectors of trace[from:to]. The full
+// trace is retained for change-rate lookback, so records whose lookback
+// reaches before the trace start are skipped. from/to are clamped.
+func ExtractSeries(features smart.FeatureSet, trace []smart.Record, from, to int) Series {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(trace) {
+		to = len(trace)
+	}
+	var s Series
+	for i := from; i < to; i++ {
+		x := make([]float64, len(features))
+		if !features.Extract(trace, i, x) {
+			continue
+		}
+		s.X = append(s.X, x)
+		s.Hours = append(s.Hours, trace[i].Hour)
+	}
+	return s
+}
+
+// Outcome is the result of scanning one drive.
+type Outcome struct {
+	// Alarmed reports whether the detector raised a warning.
+	Alarmed bool
+	// AlarmHour is the sample hour of the alarm (valid when Alarmed).
+	AlarmHour int
+	// LeadHours is the time in advance of the failure (failed drives
+	// with an alarm only; -1 otherwise).
+	LeadHours int
+}
+
+// Scan runs a detector over a drive's series. failHour is the drive's
+// failure instant, or -1 for good drives.
+func Scan(d Detector, s Series, failHour int) Outcome {
+	idx := d.Detect(s.X)
+	if idx < 0 {
+		return Outcome{LeadHours: -1}
+	}
+	out := Outcome{Alarmed: true, AlarmHour: s.Hours[idx], LeadHours: -1}
+	if failHour >= 0 {
+		out.LeadHours = failHour - out.AlarmHour
+	}
+	return out
+}
+
+// MultiVoting evaluates the voting detector for several window sizes in a
+// single pass over a drive's samples, scoring each sample exactly once.
+// ROC sweeps over N (the paper's Figs. 2 and 5) are ~|N| times cheaper
+// this way than running independent detectors.
+type MultiVoting struct {
+	// Model scores samples; a sample votes "failed" below Threshold.
+	Model Predictor
+	// Voters lists the window sizes to evaluate (values < 1 act as 1).
+	Voters []int
+	// Threshold is the per-sample vote cut.
+	Threshold float64
+}
+
+// DetectAll returns, for each configured window size, the index of the
+// first alarm (-1 = none), in the same order as Voters.
+func (m *MultiVoting) DetectAll(xs [][]float64) []int {
+	out := make([]int, len(m.Voters))
+	for i := range out {
+		out[i] = -1
+	}
+	if len(m.Voters) == 0 {
+		return out
+	}
+	// Prefix counts of failed votes: fails[i] = #failed among xs[:i].
+	fails := make([]int, len(xs)+1)
+	for i, x := range xs {
+		fails[i+1] = fails[i]
+		if m.Model.Predict(x) < m.Threshold {
+			fails[i+1]++
+		}
+	}
+	for vi, n := range m.Voters {
+		if n < 1 {
+			n = 1
+		}
+		for i := n - 1; i < len(xs); i++ {
+			if 2*(fails[i+1]-fails[i+1-n]) > n {
+				out[vi] = i
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ScanAll runs DetectAll and converts each alarm into an Outcome (as Scan
+// does for a single detector).
+func (m *MultiVoting) ScanAll(s Series, failHour int) []Outcome {
+	idxs := m.DetectAll(s.X)
+	out := make([]Outcome, len(idxs))
+	for i, idx := range idxs {
+		if idx < 0 {
+			out[i] = Outcome{LeadHours: -1}
+			continue
+		}
+		o := Outcome{Alarmed: true, AlarmHour: s.Hours[idx], LeadHours: -1}
+		if failHour >= 0 {
+			o.LeadHours = failHour - o.AlarmHour
+		}
+		out[i] = o
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteVoting is a reference implementation of the voting rule.
+func bruteVoting(scores []float64, n int, threshold float64) int {
+	if n < 1 {
+		n = 1
+	}
+	for i := n - 1; i < len(scores); i++ {
+		votes := 0
+		for j := i - n + 1; j <= i; j++ {
+			if scores[j] < threshold {
+				votes++
+			}
+		}
+		if 2*votes > n {
+			return i
+		}
+	}
+	return -1
+}
+
+// bruteMean is a reference implementation of the mean-threshold rule.
+func bruteMean(scores []float64, n int, threshold float64) int {
+	if n < 1 {
+		n = 1
+	}
+	for i := n - 1; i < len(scores); i++ {
+		sum := 0.0
+		for j := i - n + 1; j <= i; j++ {
+			sum += scores[j]
+		}
+		if sum/float64(n) < threshold {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestVotingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(15)
+		length := rng.Intn(60)
+		scores := make([]float64, length)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		th := rng.NormFloat64() * 0.5
+		det := &Voting{Model: scoreModel{}, Voters: n, Threshold: th}
+		got := det.Detect(series(scores...))
+		want := bruteVoting(scores, n, th)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Detect=%d, brute=%d, scores=%v", trial, n, got, want, scores)
+		}
+	}
+}
+
+func TestMeanThresholdMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(15)
+		length := rng.Intn(60)
+		scores := make([]float64, length)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		th := rng.NormFloat64() * 0.5
+		det := &MeanThreshold{Model: scoreModel{}, Voters: n, Threshold: th}
+		got := det.Detect(series(scores...))
+		want := bruteMean(scores, n, th)
+		// Floating-point summation order can differ at exact
+		// boundaries; tolerate only exact agreement of indices, which
+		// random continuous scores make safe.
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Detect=%d, brute=%d", trial, n, got, want)
+		}
+	}
+}
+
+// TestMeanThresholdMonotoneInThreshold: raising the threshold can only
+// move the alarm earlier (or create one).
+func TestMeanThresholdMonotoneInThreshold(t *testing.T) {
+	err := quick.Check(func(raw []int8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v) / 32
+		}
+		lo := &MeanThreshold{Model: scoreModel{}, Voters: 5, Threshold: -0.5}
+		hi := &MeanThreshold{Model: scoreModel{}, Voters: 5, Threshold: 0.5}
+		li := lo.Detect(series(scores...))
+		hiIdx := hi.Detect(series(scores...))
+		if li == -1 {
+			return true // nothing to compare
+		}
+		return hiIdx != -1 && hiIdx <= li
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVotingMonotoneInVoters: with a persistently failed tail, larger N
+// alarms later but still alarms.
+func TestVotingMonotoneInVoters(t *testing.T) {
+	scores := make([]float64, 60)
+	for i := range scores {
+		if i < 30 {
+			scores[i] = 1
+		} else {
+			scores[i] = -1
+		}
+	}
+	prev := -1
+	for _, n := range []int{1, 3, 7, 11, 21} {
+		det := &Voting{Model: scoreModel{}, Voters: n}
+		idx := det.Detect(series(scores...))
+		if idx == -1 {
+			t.Fatalf("N=%d missed a persistent failure", n)
+		}
+		if idx < prev {
+			t.Fatalf("N=%d alarmed earlier (%d) than a smaller window (%d)", n, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestMultiVotingMatchesSingleDetectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	voters := []int{1, 3, 5, 7, 11, 0}
+	for trial := 0; trial < 200; trial++ {
+		length := rng.Intn(80)
+		scores := make([]float64, length)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+		}
+		th := rng.NormFloat64() * 0.3
+		multi := &MultiVoting{Model: scoreModel{}, Voters: voters, Threshold: th}
+		got := multi.DetectAll(series(scores...))
+		for vi, n := range voters {
+			single := &Voting{Model: scoreModel{}, Voters: n, Threshold: th}
+			want := single.Detect(series(scores...))
+			if got[vi] != want {
+				t.Fatalf("trial %d N=%d: multi=%d single=%d", trial, n, got[vi], want)
+			}
+		}
+	}
+}
+
+func TestMultiVotingScanAll(t *testing.T) {
+	s := Series{X: series(1, -1, -1, -1), Hours: []int{10, 11, 12, 13}}
+	m := &MultiVoting{Model: scoreModel{}, Voters: []int{1, 3}}
+	outs := m.ScanAll(s, 100)
+	if !outs[0].Alarmed || outs[0].AlarmHour != 11 || outs[0].LeadHours != 89 {
+		t.Errorf("N=1 outcome = %+v", outs[0])
+	}
+	if !outs[1].Alarmed || outs[1].AlarmHour != 12 {
+		t.Errorf("N=3 outcome = %+v", outs[1])
+	}
+	outs = m.ScanAll(Series{X: series(1, 1), Hours: []int{1, 2}}, -1)
+	if outs[0].Alarmed || outs[1].Alarmed {
+		t.Error("clean drive alarmed")
+	}
+	if outs[0].LeadHours != -1 {
+		t.Error("good drive lead hours should be -1")
+	}
+}
+
+func TestMultiVotingEmpty(t *testing.T) {
+	m := &MultiVoting{Model: scoreModel{}}
+	if got := m.DetectAll(series(1, -1)); len(got) != 0 {
+		t.Errorf("no voters should give empty result, got %v", got)
+	}
+}

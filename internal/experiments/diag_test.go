@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"hddcart/internal/dataset"
+	"hddcart/internal/detect"
+	"hddcart/internal/simulate"
+	"hddcart/internal/smart"
+)
+
+// TestDiagnoseFalseAlarms is a development diagnostic: it lists, for every
+// good drive that false-alarms under the standard CT pipeline, the feature
+// values at the alarming sample. Run with -v; it never fails.
+func TestDiagnoseFalseAlarms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	env, err := NewEnv(Config{Seed: 1, GoodScale: 0.04, FailedScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := smart.CriticalFeatures()
+	ds, err := env.trainingSet("W", features, 0, simulate.HoursPerWeek, 168)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := trainCT(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &detect.Voting{Model: tree, Voters: 11}
+	fps := 0
+	for _, d := range env.Fleet().DrivesOf("W") {
+		if d.Failed {
+			continue
+		}
+		trace := env.Fleet().Trace(d.Index)
+		from, to, ok := dataset.TestStart(trace, 0, simulate.HoursPerWeek, 0.7)
+		if !ok {
+			continue
+		}
+		s := detect.ExtractSeries(features, trace, from, to)
+		idx := det.Detect(s.X)
+		if idx < 0 {
+			continue
+		}
+		fps++
+		x := s.X[idx]
+		t.Logf("FP drive %s at hour %d:", d.Serial, s.Hours[idx])
+		for k, f := range features {
+			t.Logf("  %-40s = %8.2f", f.String(), x[k])
+		}
+	}
+	t.Logf("total FPs: %d", fps)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hddcart/internal/boost"
+	"hddcart/internal/cart"
+	"hddcart/internal/forest"
+	"hddcart/internal/reliability"
+	"hddcart/internal/simulate"
+	"hddcart/internal/smart"
+	"hddcart/internal/storagesim"
+)
+
+// Forest runs the paper's first future-work item: a random forest against
+// the CT model on family "W" (same training data, same voting detection).
+func (e *Env) Forest() (*Report, error) {
+	r := &Report{ID: "forest", Title: "Extension: random forest vs CT (paper §VII future work)"}
+	features := smart.CriticalFeatures()
+	ds, err := e.trainingSet("W", features, 0, simulate.HoursPerWeek, 168)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := trainCT(ds)
+	if err != nil {
+		return nil, err
+	}
+	x, y, w := ds.XMatrix()
+	start := time.Now()
+	rf, err := forest.TrainClassifier(x, y, w, forest.Config{
+		Trees:  50,
+		Params: cart.Params{MinSplit: 20, MinBucket: 7, LossFA: 10},
+		Seed:   e.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(start)
+	r.addf("forest: 50 trees, OOB error %.4f, trained in %.1fs", rf.OOBError, trainTime.Seconds())
+
+	voters := []int{1, 5, 11, 27}
+	r.addf("CT model:")
+	for _, line := range curveLines(e.votingCurve("W", tree, voters)) {
+		r.addf("%s", line)
+	}
+	r.addf("random forest (vote-balance threshold 0):")
+	for _, line := range curveLines(e.votingCurve("W", rf, voters)) {
+		r.addf("%s", line)
+	}
+	return r, nil
+}
+
+// Boost tests the paper's §V remark that AdaBoost "does not provide
+// significant performance improvement and is much more computationally
+// expensive" than the plain model.
+func (e *Env) Boost() (*Report, error) {
+	r := &Report{ID: "boost", Title: "Extension: AdaBoost vs CT (paper §V remark)"}
+	features := smart.CriticalFeatures()
+	ds, err := e.trainingSet("W", features, 0, simulate.HoursPerWeek, 168)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tree, err := trainCT(ds)
+	if err != nil {
+		return nil, err
+	}
+	ctTime := time.Since(start)
+	x, y, w := ds.XMatrix()
+	start = time.Now()
+	ens, err := boost.Train(x, y, w, boost.Config{
+		Rounds:   20,
+		MaxDepth: 5,
+		Params:   cart.Params{MinSplit: 20, MinBucket: 7, CP: 1e-6, LossFA: 10},
+	})
+	if err != nil {
+		return nil, err
+	}
+	boostTime := time.Since(start)
+	r.addf("training cost: CT %.1fs, AdaBoost (%d rounds) %.1fs (%.1f×)",
+		ctTime.Seconds(), ens.Rounds(), boostTime.Seconds(),
+		boostTime.Seconds()/maxf(ctTime.Seconds(), 1e-9))
+
+	voters := []int{1, 11, 27}
+	r.addf("CT model:")
+	for _, line := range curveLines(e.votingCurve("W", tree, voters)) {
+		r.addf("%s", line)
+	}
+	r.addf("AdaBoost ensemble:")
+	for _, line := range curveLines(e.votingCurve("W", ens, voters)) {
+		r.addf("%s", line)
+	}
+	return r, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StorageSim cross-validates the Fig. 11 Markov model with the
+// discrete-event storage simulator and quantifies the effect of finite
+// maintenance capacity, which the Markov model cannot express.
+func (e *Env) StorageSim() (*Report, error) {
+	r := &Report{ID: "storagesim", Title: "Extension: event-driven storage simulation vs Markov model (§VI)"}
+	// Accelerated drives so losses occur in a tractable horizon.
+	d := reliability.DriveParams{MTTFHours: 400, MTTRHours: 24}
+	p := reliability.Prediction{FDR: 0.9549, TIAHours: 100}
+	base := storagesim.Config{
+		Groups:         50,
+		DrivesPerGroup: 8,
+		Parity:         2,
+		MTTFHours:      d.MTTFHours,
+		RepairHours:    d.MTTRHours,
+		MigrateHours:   12,
+		HorizonHours:   60000,
+		Seed:           e.cfg.Seed,
+	}
+
+	chain, start, err := reliability.RAID6PredictionChain(base.DrivesPerGroup, d, reliability.NoPrediction)
+	if err != nil {
+		return nil, err
+	}
+	analytic, err := chain.MeanTimeToAbsorption(start)
+	if err != nil {
+		return nil, err
+	}
+	noPred, err := storagesim.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("no prediction:        Markov MTTDL %.0f h, DES %.0f h (%d losses)",
+		analytic, noPred.MTTDLHours, noPred.DataLossEvents)
+
+	chainP, startP, err := reliability.RAID6PredictionChain(base.DrivesPerGroup, d, p)
+	if err != nil {
+		return nil, err
+	}
+	analyticP, err := chainP.MeanTimeToAbsorption(startP)
+	if err != nil {
+		return nil, err
+	}
+	predCfg := base
+	predCfg.FDR = p.FDR
+	predCfg.TIAMeanHours = p.TIAHours
+	pred, err := storagesim.Run(predCfg)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("with CT prediction:   Markov MTTDL %.0f h, DES %.0f h (%d losses, %d saved)",
+		analyticP, pred.MTTDLHours, pred.DataLossEvents, pred.SavedByMigration)
+
+	r.addf("finite maintenance crew (with prediction, 2 false alarms/drive-year):")
+	r.addf("  %6s %10s %12s %12s", "crew", "losses", "saved", "maxBacklog")
+	for _, crew := range []int{0, 8, 4, 2, 1} {
+		cfg := predCfg
+		cfg.Crew = crew
+		cfg.FalseAlarmsPerDriveYear = 2
+		res, err := storagesim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", crew)
+		if crew == 0 {
+			label = "∞"
+		}
+		r.addf("  %6s %10d %12d %12d", label, res.DataLossEvents, res.SavedByMigration, res.MaxBacklog)
+	}
+	return r, nil
+}

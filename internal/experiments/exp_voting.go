@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hddcart/internal/ann"
+	"hddcart/internal/cart"
+	"hddcart/internal/dataset"
+	"hddcart/internal/detect"
+	"hddcart/internal/eval"
+	"hddcart/internal/simulate"
+	"hddcart/internal/smart"
+)
+
+// modelPair bundles the two standard models of one family.
+type modelPair struct {
+	tree *cart.Tree
+	net  *ann.Network
+}
+
+// standardModels trains (once per family, memoized) the paper's standard
+// CT (168 h window) and BP ANN (12 h window) models on week-1 data with
+// the 13 critical features.
+func (e *Env) standardModels(family string) (*cart.Tree, *ann.Network, error) {
+	v, err := e.memoize("standardModels/"+family, func() (any, error) {
+		features := smart.CriticalFeatures()
+		ctDS, err := e.trainingSet(family, features, 0, simulate.HoursPerWeek, 168)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := trainCT(ctDS)
+		if err != nil {
+			return nil, err
+		}
+		annDS, err := e.trainingSet(family, features, 0, simulate.HoursPerWeek, 12)
+		if err != nil {
+			return nil, err
+		}
+		net, err := e.trainANN(annDS)
+		if err != nil {
+			return nil, err
+		}
+		return modelPair{tree, net}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pair := v.(modelPair)
+	return pair.tree, pair.net, nil
+}
+
+// votingCurve sweeps the voter count for one model on one family. All
+// window sizes are evaluated in a single pass over the fleet (each trace
+// generated and scored once) via detect.MultiVoting.
+func (e *Env) votingCurve(family string, model detect.Predictor, voters []int) eval.Curve {
+	features := smart.CriticalFeatures()
+	counters := make([]*eval.Counter, len(voters))
+	for i := range counters {
+		counters[i] = &eval.Counter{}
+	}
+	multi := &detect.MultiVoting{Model: model, Voters: voters}
+
+	var wg sync.WaitGroup
+	work := make(chan simulate.Drive)
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range work {
+				trace := e.fleet.Trace(d.Index)
+				if d.Failed {
+					s := detect.ExtractSeries(features, trace, 0, len(trace))
+					for i, out := range multi.ScanAll(s, d.FailHour) {
+						counters[i].AddFailed(out)
+					}
+					continue
+				}
+				from, to, ok := dataset.TestStart(trace, 0, simulate.HoursPerWeek, 0.7)
+				if !ok {
+					continue
+				}
+				s := detect.ExtractSeries(features, trace, from, to)
+				for i, out := range multi.ScanAll(s, -1) {
+					counters[i].AddGood(out.Alarmed)
+				}
+			}
+		}()
+	}
+	for _, d := range e.fleet.DrivesOf(family) {
+		if d.Failed && dataset.IsTrainFailedDrive(e.cfg.Seed, d.Index, 0.7) {
+			continue
+		}
+		work <- d
+	}
+	close(work)
+	wg.Wait()
+
+	var curve eval.Curve
+	for i, n := range voters {
+		curve = append(curve, eval.Point{Param: float64(n), Result: counters[i].Result()})
+	}
+	return curve
+}
+
+// Figure2 reproduces Fig. 2: the voting-based detection ROC of the CT and
+// BP ANN models on family "W", N ∈ {1,3,5,7,9,11,15,17,27}.
+func (e *Env) Figure2() (*Report, error) {
+	r := &Report{ID: "figure2", Title: "Voting-based detection, CT vs BP ANN on family W (paper Fig. 2)"}
+	tree, net, err := e.standardModels("W")
+	if err != nil {
+		return nil, err
+	}
+	voters := []int{1, 3, 5, 7, 9, 11, 15, 17, 27}
+	ctCurve := e.votingCurve("W", tree, voters)
+	annCurve := e.votingCurve("W", net, voters)
+	r.addf("CT model:")
+	for _, line := range curveLines(ctCurve) {
+		r.addf("%s", line)
+	}
+	r.addf("BP ANN model:")
+	for _, line := range curveLines(annCurve) {
+		r.addf("%s", line)
+	}
+	r.addROCChart("Voting-based detection on family W (paper Fig. 2)",
+		map[string]eval.Curve{"CT": ctCurve, "BP ANN": annCurve})
+	return r, nil
+}
+
+// curveLines formats a curve as N/FAR/FDR/TIA rows.
+func curveLines(c eval.Curve) []string {
+	lines := []string{fmt.Sprintf("  %6s %9s %9s %10s", "N", "FAR(%)", "FDR(%)", "TIA(h)")}
+	for _, p := range c {
+		lines = append(lines, fmt.Sprintf("  %6.0f %9.4f %9.2f %10.1f",
+			p.Param, p.Result.FAR()*100, p.Result.FDR()*100, p.Result.MeanTIA()))
+	}
+	return lines
+}
+
+// tiaHistogramReport renders a Figs. 3/4-style TIA distribution.
+func tiaHistogramReport(r *Report, res eval.Result) {
+	hist := eval.TIAHistogram(res.TIAs)
+	r.addf("operating point: FAR %.3f%%, FDR %.2f%%", res.FAR()*100, res.FDR()*100)
+	r.addf("%-10s %s", "TIA (h)", "drives")
+	for i, label := range eval.TIABucketLabels {
+		r.addf("%-10s %d", label, hist[i])
+	}
+}
+
+// Figure3 reproduces Fig. 3: the TIA distribution of the BP ANN model at a
+// low-FAR voting operating point (N = 11).
+func (e *Env) Figure3() (*Report, error) {
+	r := &Report{ID: "figure3", Title: "Time-in-advance distribution, BP ANN (paper Fig. 3)"}
+	_, net, err := e.standardModels("W")
+	if err != nil {
+		return nil, err
+	}
+	curve := e.votingCurve("W", net, []int{11})
+	tiaHistogramReport(r, curve[0].Result)
+	return r, nil
+}
+
+// Figure4 reproduces Fig. 4: the TIA distribution of the CT model at its
+// lowest-FAR operating point (N = 27).
+func (e *Env) Figure4() (*Report, error) {
+	r := &Report{ID: "figure4", Title: "Time-in-advance distribution, CT (paper Fig. 4)"}
+	tree, _, err := e.standardModels("W")
+	if err != nil {
+		return nil, err
+	}
+	curve := e.votingCurve("W", tree, []int{27})
+	tiaHistogramReport(r, curve[0].Result)
+	return r, nil
+}
+
+// Figure5 reproduces Fig. 5: the voting ROC on the smaller family "Q",
+// N ∈ {1,3,5,11,17}, plus the failure-cause interpretation the paper draws
+// from the trees.
+func (e *Env) Figure5() (*Report, error) {
+	r := &Report{ID: "figure5", Title: "Prediction on family Q, CT vs BP ANN (paper Fig. 5)"}
+	tree, net, err := e.standardModels("Q")
+	if err != nil {
+		return nil, err
+	}
+	voters := []int{1, 3, 5, 11, 17}
+	ctCurve := e.votingCurve("Q", tree, voters)
+	annCurve := e.votingCurve("Q", net, voters)
+	r.addf("CT model:")
+	for _, line := range curveLines(ctCurve) {
+		r.addf("%s", line)
+	}
+	r.addf("BP ANN model:")
+	for _, line := range curveLines(annCurve) {
+		r.addf("%s", line)
+	}
+	r.addROCChart("Prediction on family Q (paper Fig. 5)",
+		map[string]eval.Curve{"CT": ctCurve, "BP ANN": annCurve})
+	r.addf("")
+	r.addf("CT interpretability — top variables by importance (family Q):")
+	imp := tree.VariableImportance()
+	names := smart.CriticalFeatures().Names()
+	for i, v := range imp {
+		if v > 0 {
+			r.addf("  %-42s %.4f", names[i], v)
+		}
+	}
+	return r, nil
+}

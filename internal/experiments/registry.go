@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// runner is one experiment entry point.
+type runner struct {
+	id  string
+	run func(*Env) (*Report, error)
+}
+
+// registry maps experiment IDs to runners, in paper order.
+var registry = []runner{
+	{"table1", (*Env).Table1},
+	{"table2", (*Env).Table2},
+	{"featsel", (*Env).FeatureSelection},
+	{"table3", (*Env).Table3},
+	{"table4", (*Env).Table4},
+	{"figure2", (*Env).Figure2},
+	{"figure3", (*Env).Figure3},
+	{"figure4", (*Env).Figure4},
+	{"figure5", (*Env).Figure5},
+	{"table5", (*Env).Table5},
+	{"figure6", (*Env).Figure6},
+	{"figure7", (*Env).Figure7},
+	{"figure8", (*Env).Figure8},
+	{"figure9", (*Env).Figure9},
+	{"figure10", (*Env).Figure10},
+	{"table6", (*Env).Table6},
+	{"figure12", (*Env).Figure12},
+	// Extensions beyond the paper's evaluation (its §VII future work).
+	{"baselines", (*Env).Baselines},
+	{"forest", (*Env).Forest},
+	{"boost", (*Env).Boost},
+	{"storagesim", (*Env).StorageSim},
+}
+
+// IDs returns every experiment ID in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run executes the selected experiments (all when ids is empty) against a
+// fresh environment, writing each report to w as it completes.
+func Run(cfg Config, ids []string, w io.Writer) error {
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	return env.Run(ids, w)
+}
+
+// RunWithCharts executes the selected experiments and additionally writes
+// each report's charts as SVG files into dir (created if needed).
+func (e *Env) RunWithCharts(ids []string, w io.Writer, dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiments: create chart dir: %w", err)
+		}
+	}
+	e.chartDir = dir
+	defer func() { e.chartDir = "" }()
+	return e.Run(ids, w)
+}
+
+// writeCharts renders a report's charts to the environment's chart dir.
+func (e *Env) writeCharts(rep *Report) error {
+	for i, chart := range rep.Charts {
+		name := rep.ID + ".svg"
+		if len(rep.Charts) > 1 {
+			name = fmt.Sprintf("%s_%d.svg", rep.ID, i+1)
+		}
+		f, err := os.Create(filepath.Join(e.chartDir, name))
+		if err != nil {
+			return err
+		}
+		err = chart.SVG(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("experiments: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the selected experiments (all when ids is empty) on this
+// environment.
+func (e *Env) Run(ids []string, w io.Writer) error {
+	selected := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		id = strings.ToLower(strings.TrimSpace(id))
+		if id == "" {
+			continue
+		}
+		found := false
+		for _, r := range registry {
+			if r.id == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := IDs()
+			sort.Strings(known)
+			return fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+				id, strings.Join(known, ", "))
+		}
+		selected[id] = true
+	}
+	for _, r := range registry {
+		if len(selected) > 0 && !selected[r.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := r.run(e)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", r.id, err)
+		}
+		if _, err := fmt.Fprintf(w, "%s(%.1fs)\n\n", rep.String(), time.Since(start).Seconds()); err != nil {
+			return err
+		}
+		if e.chartDir != "" {
+			if err := e.writeCharts(rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallConfig is a fleet small enough for CI but large enough that every
+// experiment has data in both classes.
+func smallConfig() Config {
+	return Config{Seed: 3, GoodScale: 0.02, FailedScale: 0.15, ANNEpochs: 40}
+}
+
+func TestRunAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := Run(smallConfig(), nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	t.Logf("\n%s", out)
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("output missing report %q", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	err := Run(smallConfig(), []string{"table99"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(Config{Seed: 1}, []string{"table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Reallocated Sectors Count") {
+		t.Error("table2 output missing attributes")
+	}
+	if strings.Contains(buf.String(), "== table1:") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(ids))
+	}
+	if ids[0] != "table1" || ids[len(ids)-1] != "storagesim" {
+		t.Errorf("unexpected registry order: %v", ids)
+	}
+}
+
+func TestRunWithChartsWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	env, err := NewEnv(Config{Seed: 2, GoodScale: 0.002, FailedScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := env.RunWithCharts([]string{"figure12"}, &buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure12.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("figure12.svg is not an SVG")
+	}
+}
+
+func TestGoodSamplesPerDrive(t *testing.T) {
+	cases := []struct {
+		good, failed float64
+		want         int
+	}{
+		{1, 1, 3},        // paper scale: the paper's 3 samples/drive
+		{0.2, 0.5, 8},    // default reproduction scale: 3·2.5 = 7.5 → 8
+		{0.02, 0.15, 22}, // 22.4999… under float division
+		{0.001, 1, 40},   // clamped
+		{1, 0.001, 3},    // never below 3
+	}
+	for _, tc := range cases {
+		e := &Env{cfg: Config{GoodScale: tc.good, FailedScale: tc.failed}}
+		if got := e.goodSamplesPerDrive(); got != tc.want {
+			t.Errorf("scales %g/%g: k = %d, want %d", tc.good, tc.failed, got, tc.want)
+		}
+	}
+}
+
+func TestUpdatingRanges(t *testing.T) {
+	ranges, err := updatingRanges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[weekRange]bool)
+	for _, wr := range ranges {
+		if wr.start < 1 || wr.end > 7 || wr.start > wr.end {
+			t.Errorf("bad training range %+v", wr)
+		}
+		if seen[wr] {
+			t.Errorf("duplicate range %+v", wr)
+		}
+		seen[wr] = true
+	}
+	// The fixed/early ranges must include week 1 alone, and 1-week
+	// replacing needs every single week up to 7.
+	for w := 1; w <= 7; w++ {
+		if !seen[weekRange{w, w}] {
+			t.Errorf("missing single-week range %d", w)
+		}
+	}
+}
+
+func TestSubsetDrivesFraction(t *testing.T) {
+	env, err := NewEnv(Config{Seed: 5, GoodScale: 0.05, FailedScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(env.Fleet().DrivesOf("W"))
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		got := len(env.subsetDrives("W", frac, 1))
+		want := int(frac * float64(total))
+		if got < want*7/10 || got > want*13/10+2 {
+			t.Errorf("frac %v kept %d of %d drives", frac, got, total)
+		}
+	}
+	// Deterministic.
+	a := env.subsetDrives("W", 0.3, 2)
+	b := env.subsetDrives("W", 0.3, 2)
+	if len(a) != len(b) {
+		t.Error("subset not deterministic")
+	}
+}

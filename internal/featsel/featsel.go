@@ -1,0 +1,207 @@
+// Package featsel implements the paper's statistical feature selection
+// (§IV-B): candidate SMART features (attribute values and change rates)
+// are scored with three non-parametric methods — the Wilcoxon rank-sum
+// test between failed and good sample values, the reverse-arrangements
+// trend test over failed drives' deterioration series, and Welch z-scores —
+// and the strongest features are selected for model building.
+package featsel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hddcart/internal/smart"
+	"hddcart/internal/stats"
+)
+
+// Data is the input to feature evaluation. All matrices are sample-major
+// with columns laid out by Features.
+type Data struct {
+	// Features lists the candidate features (column layout).
+	Features smart.FeatureSet
+	// Good holds feature vectors of good samples.
+	Good [][]float64
+	// Failed holds feature vectors of failed samples (inside the failure
+	// window).
+	Failed [][]float64
+	// FailedSeries holds, per failed drive, the chronological feature
+	// vectors of its deterioration window — the input to the trend test.
+	FailedSeries [][][]float64
+}
+
+// Score is one candidate feature's evaluation.
+type Score struct {
+	// Feature is the scored candidate.
+	Feature smart.Feature
+	// RankSumZ is |z| of the rank-sum test between failed and good
+	// sample values: large values mean the distributions differ.
+	RankSumZ float64
+	// TrendZ is the mean |z| of the reverse-arrangements test over
+	// failed drives' series: large values mean the feature trends during
+	// deterioration.
+	TrendZ float64
+	// WelchZ is |z| of the Welch two-sample test.
+	WelchZ float64
+	// Rank is the combined rank (1 = best) across the three criteria.
+	Rank float64
+}
+
+// String renders the score for reports.
+func (s Score) String() string {
+	return fmt.Sprintf("%-42s rank %5.1f  |ranksum z| %7.2f  |trend z| %6.2f  |welch z| %7.2f",
+		s.Feature.String(), s.Rank, s.RankSumZ, s.TrendZ, s.WelchZ)
+}
+
+// Evaluate scores every candidate feature. The result is sorted best
+// (lowest combined rank) first.
+func Evaluate(d Data) ([]Score, error) {
+	nf := len(d.Features)
+	if nf == 0 {
+		return nil, errors.New("featsel: no candidate features")
+	}
+	if len(d.Good) == 0 || len(d.Failed) == 0 {
+		return nil, errors.New("featsel: need both good and failed samples")
+	}
+	for _, rows := range [][][]float64{d.Good, d.Failed} {
+		for i, r := range rows {
+			if len(r) != nf {
+				return nil, fmt.Errorf("featsel: row %d has %d columns, want %d", i, len(r), nf)
+			}
+		}
+	}
+
+	scores := make([]Score, nf)
+	goodCol := make([]float64, len(d.Good))
+	failCol := make([]float64, len(d.Failed))
+	for f := 0; f < nf; f++ {
+		for i, r := range d.Good {
+			goodCol[i] = r[f]
+		}
+		for i, r := range d.Failed {
+			failCol[i] = r[f]
+		}
+		scores[f].Feature = d.Features[f]
+		scores[f].RankSumZ = math.Abs(stats.RankSum(failCol, goodCol).Z)
+		scores[f].WelchZ = math.Abs(stats.ZScore(failCol, goodCol))
+
+		var trendSum float64
+		var trendN int
+		for _, series := range d.FailedSeries {
+			col := make([]float64, 0, len(series))
+			for _, row := range series {
+				if len(row) != nf {
+					return nil, errors.New("featsel: ragged failed series")
+				}
+				col = append(col, row[f])
+			}
+			if len(col) < 3 {
+				continue
+			}
+			trendSum += math.Abs(stats.ReverseArrangements(col).Z)
+			trendN++
+		}
+		if trendN > 0 {
+			scores[f].TrendZ = trendSum / float64(trendN)
+		}
+	}
+
+	// Combined rank: average of the per-criterion ranks (1 = strongest).
+	combine(scores)
+	sort.SliceStable(scores, func(a, b int) bool {
+		if scores[a].Rank != scores[b].Rank {
+			return scores[a].Rank < scores[b].Rank
+		}
+		return scores[a].RankSumZ > scores[b].RankSumZ
+	})
+	return scores, nil
+}
+
+// combine fills the Rank field with the mean rank across criteria.
+func combine(scores []Score) {
+	n := len(scores)
+	criteria := []func(Score) float64{
+		func(s Score) float64 { return s.RankSumZ },
+		func(s Score) float64 { return s.TrendZ },
+		func(s Score) float64 { return s.WelchZ },
+	}
+	total := make([]float64, n)
+	for _, crit := range criteria {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return crit(scores[order[a]]) > crit(scores[order[b]])
+		})
+		for rank, idx := range order {
+			total[idx] += float64(rank + 1)
+		}
+	}
+	for i := range scores {
+		scores[i].Rank = total[i] / float64(len(criteria))
+	}
+}
+
+// SelectTop returns the k best-ranked features as a FeatureSet (scores must
+// come from Evaluate, i.e. already sorted).
+func SelectTop(scores []Score, k int) smart.FeatureSet {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make(smart.FeatureSet, 0, k)
+	for _, s := range scores[:k] {
+		out = append(out, s.Feature)
+	}
+	return out
+}
+
+// SelectSignificant returns every feature whose rank-sum |z| exceeds minZ —
+// a threshold selection for callers that prefer significance to a fixed
+// count.
+func SelectSignificant(scores []Score, minZ float64) smart.FeatureSet {
+	var out smart.FeatureSet
+	for _, s := range scores {
+		if s.RankSumZ >= minZ {
+			out = append(out, s.Feature)
+		}
+	}
+	return out
+}
+
+// CandidateFeatures returns the §IV-B candidate pool: every catalogued
+// attribute's normalized value, the raw values of the counter attributes
+// the paper inspects, and change rates of the error-signal attributes at
+// the given intervals (the paper tests several intervals and keeps 6 h).
+func CandidateFeatures(intervals ...int) smart.FeatureSet {
+	if len(intervals) == 0 {
+		intervals = []int{6}
+	}
+	var out smart.FeatureSet
+	for _, a := range smart.Catalogue {
+		out = append(out, smart.Feature{Attr: a.ID, Kind: smart.Normalized})
+	}
+	for _, id := range []smart.AttrID{smart.ReallocatedSectors, smart.CurrentPendingSectors} {
+		out = append(out, smart.Feature{Attr: id, Kind: smart.Raw})
+	}
+	rateAttrs := []struct {
+		id  smart.AttrID
+		raw bool
+	}{
+		{smart.RawReadErrorRate, false},
+		{smart.HardwareECCRecovered, false},
+		{smart.SeekErrorRate, false},
+		{smart.ReallocatedSectors, true},
+		{smart.CurrentPendingSectors, true},
+	}
+	for _, iv := range intervals {
+		for _, ra := range rateAttrs {
+			out = append(out, smart.Feature{
+				Attr: ra.id, Kind: smart.ChangeRate,
+				IntervalHours: iv, RateOfRaw: ra.raw,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package featsel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hddcart/internal/smart"
+)
+
+// synthData builds a 3-feature dataset where feature 0 separates the
+// classes and trends in failed drives, feature 1 is pure noise, and
+// feature 2 separates weakly.
+func synthData(t *testing.T) Data {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	features := smart.FeatureSet{
+		{Attr: smart.ReportedUncorrectable, Kind: smart.Normalized},
+		{Attr: smart.ThroughputPerformance, Kind: smart.Normalized},
+		{Attr: smart.TemperatureCelsius, Kind: smart.Normalized},
+	}
+	d := Data{Features: features}
+	for i := 0; i < 300; i++ {
+		d.Good = append(d.Good, []float64{
+			100 + rng.NormFloat64(),
+			50 + rng.NormFloat64()*5,
+			60 + rng.NormFloat64()*2,
+		})
+	}
+	for i := 0; i < 100; i++ {
+		d.Failed = append(d.Failed, []float64{
+			70 + rng.NormFloat64()*5,
+			50 + rng.NormFloat64()*5,
+			57 + rng.NormFloat64()*2,
+		})
+	}
+	for drive := 0; drive < 10; drive++ {
+		var series [][]float64
+		for h := 0; h < 48; h++ {
+			series = append(series, []float64{
+				100 - float64(h) + rng.NormFloat64(), // strong trend
+				50 + rng.NormFloat64()*5,             // none
+				60 - float64(h)*0.05 + rng.NormFloat64()*2,
+			})
+		}
+		d.FailedSeries = append(d.FailedSeries, series)
+	}
+	return d
+}
+
+func TestEvaluateRanksInformativeFirst(t *testing.T) {
+	scores, err := Evaluate(synthData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if scores[0].Feature.Attr != smart.ReportedUncorrectable {
+		t.Errorf("best feature = %v, want Reported Uncorrectable", scores[0].Feature)
+	}
+	if scores[len(scores)-1].Feature.Attr != smart.ThroughputPerformance {
+		t.Errorf("worst feature = %v, want Throughput Performance (noise)", scores[2].Feature)
+	}
+	if scores[0].RankSumZ < 5 {
+		t.Errorf("informative rank-sum z = %v, want large", scores[0].RankSumZ)
+	}
+	if scores[0].TrendZ < 3 {
+		t.Errorf("informative trend z = %v, want large", scores[0].TrendZ)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	good := [][]float64{{1}}
+	failed := [][]float64{{2}}
+	cases := []Data{
+		{},
+		{Features: smart.FeatureSet{{Attr: 1, Kind: smart.Normalized}}, Good: good},
+		{Features: smart.FeatureSet{{Attr: 1, Kind: smart.Normalized}}, Failed: failed},
+		{Features: smart.FeatureSet{{Attr: 1, Kind: smart.Normalized}, {Attr: 2, Kind: smart.Normalized}},
+			Good: good, Failed: failed}, // ragged
+	}
+	for i, d := range cases {
+		if _, err := Evaluate(d); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestEvaluateRaggedSeries(t *testing.T) {
+	d := Data{
+		Features:     smart.FeatureSet{{Attr: 1, Kind: smart.Normalized}},
+		Good:         [][]float64{{1}, {2}},
+		Failed:       [][]float64{{3}, {4}},
+		FailedSeries: [][][]float64{{{1, 2}, {1, 2}, {1, 2}}},
+	}
+	if _, err := Evaluate(d); err == nil {
+		t.Error("ragged series should error")
+	}
+}
+
+func TestSelectTop(t *testing.T) {
+	scores, err := Evaluate(synthData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := SelectTop(scores, 2)
+	if len(top) != 2 {
+		t.Fatalf("SelectTop = %d features", len(top))
+	}
+	if top[0].Attr != smart.ReportedUncorrectable {
+		t.Error("top selection should start with the informative feature")
+	}
+	if got := SelectTop(scores, 99); len(got) != 3 {
+		t.Errorf("over-asking should return all, got %d", len(got))
+	}
+}
+
+func TestSelectSignificant(t *testing.T) {
+	scores, err := Evaluate(synthData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectSignificant(scores, 5)
+	for _, f := range sel {
+		if f.Attr == smart.ThroughputPerformance {
+			t.Error("noise feature passed the significance threshold")
+		}
+	}
+	if len(sel) == 0 {
+		t.Error("no features passed a moderate threshold")
+	}
+}
+
+func TestCandidatePool(t *testing.T) {
+	pool := CandidateFeatures()
+	// 23 normalized + 2 raw + 5 change rates at one interval.
+	if len(pool) != 30 {
+		t.Errorf("default pool = %d features, want 30", len(pool))
+	}
+	pool = CandidateFeatures(6, 12, 24)
+	if len(pool) != 23+2+15 {
+		t.Errorf("3-interval pool = %d features, want 40", len(pool))
+	}
+	// Every catalogued attribute appears.
+	seen := make(map[smart.AttrID]bool)
+	for _, f := range pool {
+		if f.Kind == smart.Normalized {
+			seen[f.Attr] = true
+		}
+	}
+	if len(seen) != smart.NumAttrs {
+		t.Errorf("pool covers %d attributes, want %d", len(seen), smart.NumAttrs)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	s := Score{Feature: smart.Feature{Attr: smart.PowerOnHours, Kind: smart.Normalized},
+		RankSumZ: 12.3, TrendZ: 4.5, WelchZ: 10, Rank: 1}
+	if got := s.String(); !strings.Contains(got, "Power On Hours") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package linalg provides the small dense and banded linear solvers used by
+// the reliability Markov models. The banded solver is what makes the
+// Fig. 12 reproduction fast: the interleaved state ordering of the RAID
+// Markov chains yields a bandwidth ≤ 4, so expected-time-to-absorption
+// systems with thousands of states solve in O(n·band²).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when elimination encounters an (effectively)
+// zero pivot.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveDense solves a·x = b by Gaussian elimination with partial pivoting.
+// Both a and b are modified in place; the solution is returned in b's
+// storage.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: bad system shape (%d rows, %d rhs)", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[i][k]) > math.Abs(a[p][k]) {
+				p = i
+			}
+		}
+		if math.Abs(a[p][k]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		a[k], a[p] = a[p], a[k]
+		b[k], b[p] = b[p], b[k]
+		for i := k + 1; i < n; i++ {
+			m := a[i][k] / a[k][k]
+			if m == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				a[i][j] -= m * a[k][j]
+			}
+			b[i] -= m * b[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		sum := b[k]
+		for j := k + 1; j < n; j++ {
+			sum -= a[k][j] * b[j]
+		}
+		b[k] = sum / a[k][k]
+	}
+	return b, nil
+}
+
+// Band is an n×n banded matrix with kl subdiagonals and ku superdiagonals.
+// Entry (i,j) is stored only when −kl ≤ j−i ≤ ku; reads outside the band
+// return 0 and writes outside the band are an error.
+type Band struct {
+	n, kl, ku int
+	// data holds band row r = ku + i − j at data[r*n + j].
+	data []float64
+}
+
+// NewBand allocates a zero banded matrix.
+func NewBand(n, kl, ku int) (*Band, error) {
+	if n <= 0 || kl < 0 || ku < 0 {
+		return nil, fmt.Errorf("linalg: bad band shape n=%d kl=%d ku=%d", n, kl, ku)
+	}
+	return &Band{n: n, kl: kl, ku: ku, data: make([]float64, (kl+ku+1)*n)}, nil
+}
+
+// N returns the matrix dimension.
+func (b *Band) N() int { return b.n }
+
+// inBand reports whether (i,j) lies inside the band.
+func (b *Band) inBand(i, j int) bool {
+	d := j - i
+	return i >= 0 && i < b.n && j >= 0 && j < b.n && d >= -b.kl && d <= b.ku
+}
+
+// At returns entry (i,j) (0 outside the band).
+func (b *Band) At(i, j int) float64 {
+	if !b.inBand(i, j) {
+		return 0
+	}
+	return b.data[(b.ku+i-j)*b.n+j]
+}
+
+// Set stores entry (i,j); it returns an error outside the band.
+func (b *Band) Set(i, j int, v float64) error {
+	if !b.inBand(i, j) {
+		return fmt.Errorf("linalg: (%d,%d) outside band kl=%d ku=%d n=%d", i, j, b.kl, b.ku, b.n)
+	}
+	b.data[(b.ku+i-j)*b.n+j] = v
+	return nil
+}
+
+// Add accumulates v into entry (i,j).
+func (b *Band) Add(i, j int, v float64) error {
+	if !b.inBand(i, j) {
+		return fmt.Errorf("linalg: (%d,%d) outside band kl=%d ku=%d n=%d", i, j, b.kl, b.ku, b.n)
+	}
+	b.data[(b.ku+i-j)*b.n+j] += v
+	return nil
+}
+
+// Solve solves b·x = rhs by banded Gaussian elimination WITHOUT pivoting,
+// which is numerically safe for the (weakly chained) diagonally dominant
+// systems produced by CTMC time-to-absorption problems — the only use in
+// this library. The matrix and rhs are modified in place; the solution is
+// returned in rhs's storage.
+func (b *Band) Solve(rhs []float64) ([]float64, error) {
+	n := b.n
+	if len(rhs) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(rhs), n)
+	}
+	for k := 0; k < n; k++ {
+		piv := b.At(k, k)
+		if math.Abs(piv) < 1e-300 {
+			return nil, ErrSingular
+		}
+		iMax := k + b.kl
+		if iMax > n-1 {
+			iMax = n - 1
+		}
+		jMax := k + b.ku
+		if jMax > n-1 {
+			jMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			m := b.At(i, k) / piv
+			if m == 0 {
+				continue
+			}
+			for j := k; j <= jMax; j++ {
+				// Fill stays inside the band without pivoting:
+				// j − i ≤ (k+ku) − (k+1) < ku and j − i ≥ k − (k+kl) = −kl.
+				b.data[(b.ku+i-j)*n+j] -= m * b.At(k, j)
+			}
+			rhs[i] -= m * rhs[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		sum := rhs[k]
+		jMax := k + b.ku
+		if jMax > n-1 {
+			jMax = n - 1
+		}
+		for j := k + 1; j <= jMax; j++ {
+			sum -= b.At(k, j) * rhs[j]
+		}
+		rhs[k] = sum / b.At(k, k)
+	}
+	return rhs, nil
+}
+
+// Dense expands the band matrix to dense form (for tests and debugging).
+func (b *Band) Dense() [][]float64 {
+	out := make([][]float64, b.n)
+	for i := range out {
+		out[i] = make([]float64, b.n)
+		for j := range out[i] {
+			out[i][j] = b.At(i, j)
+		}
+	}
+	return out
+}

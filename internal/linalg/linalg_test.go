@@ -1,0 +1,227 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveDenseKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveDenseNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{3, 5}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 5 || x[1] != 3 {
+		t.Errorf("x = %v, want [5 3]", x)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := SolveDense(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDenseShapeErrors(t *testing.T) {
+	if _, err := SolveDense(nil, nil); err == nil {
+		t.Error("empty system should error")
+	}
+	if _, err := SolveDense([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square system should error")
+	}
+	if _, err := SolveDense([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs mismatch should error")
+	}
+}
+
+func TestBandAccessors(t *testing.T) {
+	b, err := NewBand(5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 5 {
+		t.Errorf("N = %d", b.N())
+	}
+	if err := b.Set(0, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(2, 1, -4); err != nil {
+		t.Fatal(err)
+	}
+	if b.At(0, 0) != 7 || b.At(0, 2) != 3 || b.At(2, 1) != -4 {
+		t.Error("stored values not read back")
+	}
+	if b.At(0, 4) != 0 || b.At(4, 0) != 0 {
+		t.Error("outside-band reads should be 0")
+	}
+	if err := b.Set(0, 3, 1); err == nil {
+		t.Error("outside-band write should error")
+	}
+	if err := b.Set(3, 0, 1); err == nil {
+		t.Error("below-band write should error")
+	}
+	if err := b.Add(0, 0, 1); err != nil || b.At(0, 0) != 8 {
+		t.Error("Add failed")
+	}
+	if err := b.Add(4, 0, 1); err == nil {
+		t.Error("outside-band Add should error")
+	}
+}
+
+func TestNewBandValidation(t *testing.T) {
+	if _, err := NewBand(0, 1, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewBand(3, -1, 0); err == nil {
+		t.Error("negative kl should error")
+	}
+}
+
+// randomDominantBand builds a random strictly diagonally dominant band
+// matrix and a random solution, returning the matrix, rhs and solution.
+func randomDominantBand(rng *rand.Rand, n, kl, ku int) (*Band, []float64, []float64) {
+	b, _ := NewBand(n, kl, ku)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := i - kl; j <= i+ku; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			_ = b.Set(i, j, v)
+			off += math.Abs(v)
+		}
+		_ = b.Set(i, i, off+1+rng.Float64())
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i - kl; j <= i+ku; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			rhs[i] += b.At(i, j) * x[j]
+		}
+	}
+	return b, rhs, x
+}
+
+func TestBandSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		kl := rng.Intn(4)
+		ku := rng.Intn(4)
+		b, rhs, want := randomDominantBand(rng, n, kl, ku)
+		dense := b.Dense()
+		denseRHS := append([]float64(nil), rhs...)
+		xd, err := SolveDense(dense, denseRHS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xb, err := b.Solve(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(xb[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: band x[%d]=%v, want %v", trial, i, xb[i], want[i])
+			}
+			if math.Abs(xb[i]-xd[i]) > 1e-8 {
+				t.Fatalf("trial %d: band and dense disagree at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBandSolveTridiagonalKnown(t *testing.T) {
+	// [2 -1 0; -1 2 -1; 0 -1 2] x = [1 0 1] → x = [1 1 1]
+	b, _ := NewBand(3, 1, 1)
+	_ = b.Set(0, 0, 2)
+	_ = b.Set(0, 1, -1)
+	_ = b.Set(1, 0, -1)
+	_ = b.Set(1, 1, 2)
+	_ = b.Set(1, 2, -1)
+	_ = b.Set(2, 1, -1)
+	_ = b.Set(2, 2, 2)
+	x, err := b.Solve([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-12 {
+			t.Fatalf("x = %v, want ones", x)
+		}
+	}
+}
+
+func TestBandSolveSingular(t *testing.T) {
+	b, _ := NewBand(2, 0, 0) // diagonal matrix with a zero
+	_ = b.Set(0, 0, 1)
+	if _, err := b.Solve([]float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestBandSolveRHSMismatch(t *testing.T) {
+	b, _ := NewBand(3, 1, 1)
+	if _, err := b.Solve([]float64{1}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+}
+
+func TestBandLargeSystem(t *testing.T) {
+	// The reliability use case: thousands of states, tiny bandwidth.
+	rng := rand.New(rand.NewSource(2))
+	n := 7501
+	b, rhs, want := randomDominantBand(rng, n, 4, 4)
+	x, err := b.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(x[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-7 {
+		t.Errorf("max error = %v", worst)
+	}
+}

@@ -1,0 +1,210 @@
+// Package plot renders simple line charts as standalone SVG files using
+// only the standard library. cmd/experiments uses it to emit graphical
+// versions of the paper's figures (ROC curves, FAR-over-weeks series,
+// MTTDL sweeps) next to their textual tables.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data points (equal length).
+	X, Y []float64
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	// Title, XLabel and YLabel annotate the chart.
+	Title, XLabel, YLabel string
+	// Series are the lines.
+	Series []Series
+	// LogY plots the Y axis on a log10 scale (all Y must be positive).
+	LogY bool
+	// Width and Height are the pixel dimensions (defaults 640×420).
+	Width, Height int
+}
+
+// palette holds the line colors, applied in series order.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 55
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return errors.New("plot: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 420
+	}
+
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					return fmt.Errorf("plot: series %q has non-positive y on a log axis", s.Name)
+				}
+				y = math.Log10(y)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return errors.New("plot: chart has no points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	px := func(x float64) float64 {
+		return marginLeft + (x-xmin)/(xmax-xmin)*plotW
+	}
+	py := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+
+	// Ticks.
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-marginBottom, x, height-marginBottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginBottom+18, formatTick(t))
+	}
+	yticks := ticks(ymin, ymax, 6)
+	for _, t := range yticks {
+		v := t
+		label := formatTick(t)
+		if c.LogY {
+			v = math.Pow(10, t)
+			label = fmt.Sprintf("1e%g", t)
+		}
+		y := py(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginLeft-5, y, marginLeft, y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-8, y+4, label)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+int(plotW)/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+int(plotH)/2, marginTop+int(plotH)/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 8 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginRight-150, ly, width-marginRight-128, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginRight-122, ly+4, escape(s.Name))
+	}
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ticks picks ≤ n "nice" tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	if span <= 0 || n < 2 {
+		return []float64{lo}
+	}
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag >= 5:
+		step = 5 * mag
+	case rawStep/mag >= 2:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for t := start; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// escape sanitizes text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

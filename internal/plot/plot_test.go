@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "ROC & curves <test>",
+		XLabel: "false alarm rate (%)",
+		YLabel: "detection rate (%)",
+		Series: []Series{
+			{Name: "CT", X: []float64{0.01, 0.1, 0.5}, Y: []float64{90, 94, 97}},
+			{Name: "BP ANN", X: []float64{0.02, 0.2, 1.0}, Y: []float64{85, 92, 96}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "CT", "BP ANN", "&lt;test&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<test>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestSVGLogScale(t *testing.T) {
+	c := &Chart{
+		Title: "mttdl",
+		LogY:  true,
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1e") {
+		t.Error("log axis should label powers of ten")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).SVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.SVG(&buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+	logBad := &Chart{LogY: true, Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{-1}}}}
+	if err := logBad.SVG(&buf); err == nil {
+		t.Error("negative value on log axis accepted")
+	}
+	none := &Chart{Series: []Series{{Name: "x"}}}
+	if err := none.SVG(&buf); err == nil {
+		t.Error("pointless chart accepted")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 10, 6)
+	if len(got) < 3 || got[0] != 0 || got[len(got)-1] > 10.001 {
+		t.Errorf("ticks(0,10) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	if got := ticks(5, 5, 6); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+	// Fractional ranges still produce sane ticks.
+	frac := ticks(0.001, 0.009, 5)
+	if len(frac) < 2 {
+		t.Errorf("fractional ticks = %v", frac)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(5) != "5" {
+		t.Error("integer ticks should have no decimals")
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Errorf("formatTick(0.25) = %q", formatTick(0.25))
+	}
+	if formatTick(math.Pi) != "3.14" {
+		t.Errorf("formatTick(pi) = %q", formatTick(math.Pi))
+	}
+}

@@ -1,0 +1,271 @@
+package reliability
+
+import "fmt"
+
+// HoursPerYear converts MTTDL hours to years.
+const HoursPerYear = 24 * 365
+
+// DriveParams characterizes one drive population.
+type DriveParams struct {
+	// MTTFHours is the drive's mean time to failure. The paper uses
+	// 1,990,000 h for SAS and 1,390,000 h for SATA drives.
+	MTTFHours float64
+	// MTTRHours is the mean time to repair/rebuild (8 h in the paper).
+	MTTRHours float64
+}
+
+// SASDrive and SATADrive return the paper's Table VI / Fig. 12 parameters.
+func SASDrive() DriveParams  { return DriveParams{MTTFHours: 1990000, MTTRHours: 8} }
+func SATADrive() DriveParams { return DriveParams{MTTFHours: 1390000, MTTRHours: 8} }
+
+// Prediction characterizes a failure-prediction model for reliability
+// analysis: k (the FDR) and γ = 1/TIA. The zero value means no prediction.
+type Prediction struct {
+	// FDR is the failure detection rate k ∈ [0,1].
+	FDR float64
+	// TIAHours is the mean time in advance of warnings.
+	TIAHours float64
+}
+
+// NoPrediction is the zero Prediction.
+var NoPrediction = Prediction{}
+
+// SingleDriveMTTDL evaluates Eckart's formula (the paper's Eq. 7):
+//
+//	MTTDL ≈ MTTF / (1 − k·µ/(µ+γ))
+//
+// where µ = 1/MTTR and γ = 1/TIA. With no prediction (k = 0) it reduces to
+// the drive's MTTF. The result is in hours.
+func SingleDriveMTTDL(d DriveParams, p Prediction) float64 {
+	if p.FDR == 0 || p.TIAHours == 0 {
+		return d.MTTFHours
+	}
+	mu := 1 / d.MTTRHours
+	gamma := 1 / p.TIAHours
+	return d.MTTFHours / (1 - p.FDR*mu/(mu+gamma))
+}
+
+// RAID5MTTDLNoPrediction is Gibson's closed-form approximation for an
+// N-drive RAID-5 group: MTTF²/(N(N−1)·MTTR). Hours.
+func RAID5MTTDLNoPrediction(d DriveParams, n int) float64 {
+	if n < 2 {
+		return d.MTTFHours
+	}
+	fn := float64(n)
+	return d.MTTFHours * d.MTTFHours / (fn * (fn - 1) * d.MTTRHours)
+}
+
+// RAID6MTTDLNoPrediction is Gibson's approximation for RAID-6 (the paper's
+// Eq. 8): MTTF³/(N(N−1)(N−2)·MTTR²). Hours.
+func RAID6MTTDLNoPrediction(d DriveParams, n int) float64 {
+	if n < 3 {
+		return RAID5MTTDLNoPrediction(d, n)
+	}
+	fn := float64(n)
+	return d.MTTFHours * d.MTTFHours * d.MTTFHours /
+		(fn * (fn - 1) * (fn - 2) * d.MTTRHours * d.MTTRHours)
+}
+
+// RAID6PredictionChain builds the paper's Fig. 11 Markov model for an
+// N-drive RAID-6 group with proactive fault tolerance. The 3N transient
+// states are: P_i (no erasures, i drives currently predicted to fail,
+// 0 ≤ i ≤ N), SP_i (one erasure, 0 ≤ i ≤ N−1) and DP_i (two erasures,
+// 0 ≤ i ≤ N−2); F (data loss, any third concurrent erasure) is absorbing.
+//
+// Rates: healthy drives fail at λ = 1/MTTF; a failing drive is predicted
+// with probability k (entering a predicted state) or missed with l = 1−k
+// (an immediate erasure). Predicted drives are proactively replaced at
+// rate µ = 1/MTTR each, or truly die at rate γ = 1/TIA. Failed drives
+// rebuild at rate µ (two in parallel in DP states). DESIGN.md documents
+// the full rate table; the paper prints the state diagram only.
+//
+// It returns the chain and the start state (P_0).
+func RAID6PredictionChain(n int, d DriveParams, p Prediction) (*Chain, int, error) {
+	if n < 3 {
+		return nil, 0, fmt.Errorf("reliability: RAID-6 needs ≥ 3 drives, got %d", n)
+	}
+	if p.FDR < 0 || p.FDR > 1 {
+		return nil, 0, fmt.Errorf("reliability: FDR %v outside [0,1]", p.FDR)
+	}
+	lambda := 1 / d.MTTFHours
+	mu := 1 / d.MTTRHours
+	gamma := 0.0
+	if p.TIAHours > 0 {
+		gamma = 1 / p.TIAHours
+	}
+	k := p.FDR
+	if gamma == 0 {
+		// Without a lead-time model, predictions are meaningless;
+		// treat as no prediction.
+		k = 0
+	}
+	l := 1 - k
+
+	// Interleaved indexing keeps the generator banded (bandwidth ≤ 3):
+	// P_i→3i, SP_i→3i+1, DP_i→3i+2 for i ≤ N−2; then SP_{N−1}, P_{N−1},
+	// P_N occupy the tail.
+	pIdx := func(i int) int {
+		switch {
+		case i <= n-2:
+			return 3 * i
+		case i == n-1:
+			return 3 * (n - 1)
+		default: // i == n
+			return 3*n - 1
+		}
+	}
+	spIdx := func(i int) int {
+		if i <= n-2 {
+			return 3*i + 1
+		}
+		return 3*(n-1) + 1 // i == n-1
+	}
+	dpIdx := func(i int) int { return 3*i + 2 } // i ≤ n-2
+
+	c, err := NewChain(3 * n)
+	if err != nil {
+		return nil, 0, err
+	}
+	add := func(from, to int, rate float64) {
+		if err == nil {
+			err = c.Add(from, to, rate)
+		}
+	}
+
+	for i := 0; i <= n; i++ {
+		healthy := float64(n - i)
+		fi := float64(i)
+		if i < n {
+			add(pIdx(i), pIdx(i+1), healthy*lambda*k)
+			add(pIdx(i), spIdx(i), healthy*lambda*l)
+		}
+		if i > 0 {
+			add(pIdx(i), pIdx(i-1), fi*mu)
+			add(pIdx(i), spIdx(i-1), fi*gamma)
+		}
+	}
+	for i := 0; i <= n-1; i++ {
+		healthy := float64(n - 1 - i)
+		fi := float64(i)
+		add(spIdx(i), pIdx(i), mu)
+		if i < n-1 {
+			add(spIdx(i), spIdx(i+1), healthy*lambda*k)
+			add(spIdx(i), dpIdx(i), healthy*lambda*l)
+		}
+		if i > 0 {
+			add(spIdx(i), spIdx(i-1), fi*mu)
+			add(spIdx(i), dpIdx(i-1), fi*gamma)
+		}
+	}
+	for i := 0; i <= n-2; i++ {
+		healthy := float64(n - 2 - i)
+		fi := float64(i)
+		add(dpIdx(i), spIdx(i), 2*mu)
+		if i < n-2 {
+			add(dpIdx(i), dpIdx(i+1), healthy*lambda*k)
+		}
+		if i > 0 {
+			add(dpIdx(i), dpIdx(i-1), fi*mu)
+		}
+		// Any third concurrent erasure loses data: a missed failure of
+		// a healthy drive, or a predicted drive dying before
+		// replacement.
+		add(dpIdx(i), Absorb, healthy*lambda*l+fi*gamma)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, pIdx(0), nil
+}
+
+// RAID5PredictionChain builds the analogous 2N-state model for RAID-5 with
+// proactive fault tolerance (after Eckart et al. [17]): states P_i
+// (0 ≤ i ≤ N) and SP_i (one erasure, 0 ≤ i ≤ N−1); any second concurrent
+// erasure is data loss.
+func RAID5PredictionChain(n int, d DriveParams, p Prediction) (*Chain, int, error) {
+	if n < 2 {
+		return nil, 0, fmt.Errorf("reliability: RAID-5 needs ≥ 2 drives, got %d", n)
+	}
+	if p.FDR < 0 || p.FDR > 1 {
+		return nil, 0, fmt.Errorf("reliability: FDR %v outside [0,1]", p.FDR)
+	}
+	lambda := 1 / d.MTTFHours
+	mu := 1 / d.MTTRHours
+	gamma := 0.0
+	if p.TIAHours > 0 {
+		gamma = 1 / p.TIAHours
+	}
+	k := p.FDR
+	if gamma == 0 {
+		k = 0
+	}
+	l := 1 - k
+
+	// Interleaved indexing: P_i→2i (i ≤ N−1), SP_i→2i+1, and P_N in the
+	// dedicated last slot 2N.
+	total := 2*n + 1 // P_0..P_N (n+1) + SP_0..SP_{n-1} (n)
+	pIdx := func(i int) int {
+		if i <= n-1 {
+			return 2 * i
+		}
+		return 2 * n // P_N last
+	}
+	spIdx := func(i int) int { return 2*i + 1 }
+
+	c, err := NewChain(total)
+	if err != nil {
+		return nil, 0, err
+	}
+	add := func(from, to int, rate float64) {
+		if err == nil {
+			err = c.Add(from, to, rate)
+		}
+	}
+	for i := 0; i <= n; i++ {
+		healthy := float64(n - i)
+		fi := float64(i)
+		if i < n {
+			add(pIdx(i), pIdx(i+1), healthy*lambda*k)
+			add(pIdx(i), spIdx(i), healthy*lambda*l)
+		}
+		if i > 0 {
+			add(pIdx(i), pIdx(i-1), fi*mu)
+			add(pIdx(i), spIdx(i-1), fi*gamma)
+		}
+	}
+	for i := 0; i <= n-1; i++ {
+		healthy := float64(n - 1 - i)
+		fi := float64(i)
+		add(spIdx(i), pIdx(i), mu)
+		if i < n-1 {
+			add(spIdx(i), spIdx(i+1), healthy*lambda*k)
+		}
+		if i > 0 {
+			add(spIdx(i), spIdx(i-1), fi*mu)
+		}
+		add(spIdx(i), Absorb, healthy*lambda*l+fi*gamma)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, pIdx(0), nil
+}
+
+// RAID6PredictionMTTDL solves the Fig. 11 model for its MTTDL (hours).
+func RAID6PredictionMTTDL(n int, d DriveParams, p Prediction) (float64, error) {
+	c, start, err := RAID6PredictionChain(n, d, p)
+	if err != nil {
+		return 0, err
+	}
+	return c.MeanTimeToAbsorption(start)
+}
+
+// RAID5PredictionMTTDL solves the RAID-5 proactive model for its MTTDL
+// (hours).
+func RAID5PredictionMTTDL(n int, d DriveParams, p Prediction) (float64, error) {
+	c, start, err := RAID5PredictionChain(n, d, p)
+	if err != nil {
+		return 0, err
+	}
+	return c.MeanTimeToAbsorption(start)
+}

@@ -1,0 +1,421 @@
+// Package simulate generates synthetic SMART traces for a fleet of hard
+// drives. It stands in for the proprietary real-world dataset of the DSN'14
+// CART paper (25,792 drives from a production datacenter, families "W" and
+// "Q"), reproducing the four properties every experiment in the paper
+// depends on:
+//
+//  1. failed drives deteriorate gradually: per-drive failure modes drive
+//     SMART attributes away from their healthy baselines inside a per-drive
+//     deterioration window before the failure instant;
+//  2. heavy class imbalance: tens of thousands of good drives against a few
+//     hundred failed ones, sampled hourly (good drives over 56 days, failed
+//     drives over the 20 days preceding failure);
+//  3. family-to-family differences: "W" and "Q" use different baselines,
+//     noise scales and failure-mode mixes (the paper observes different
+//     dominant failure causes per family);
+//  4. slow temporal drift of the healthy population: baselines and benign
+//     error rates drift as the fleet ages, which is what makes a
+//     never-updated prediction model decay (paper §V-B3).
+//
+// Traces are deterministic functions of (fleet seed, drive index), so a
+// fleet of any size streams drive-by-drive without materializing tens of
+// millions of samples.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hddcart/internal/smart"
+)
+
+// Observation-period constants matching the paper's data collection (§IV-A).
+const (
+	// HoursPerDay is the sampling rate: one SMART record per hour.
+	HoursPerDay = 24
+	// GoodDays is the observation period of good drives.
+	GoodDays = 56
+	// FailedDays is the recorded period before each failure.
+	FailedDays = 20
+	// TotalHours is the length of the whole observation period.
+	TotalHours = GoodDays * HoursPerDay // 1344
+	// FailedHours is the per-drive recorded period before failure.
+	FailedHours = FailedDays * HoursPerDay // 480
+	// HoursPerWeek partitions the period into the 8 weeks used by the
+	// model-updating experiments.
+	HoursPerWeek = 7 * HoursPerDay // 168
+)
+
+// FailureMode identifies the dominant degradation signature of a failed
+// drive. Modes map onto the failure causes the paper extracts from its
+// trees: reported uncorrectable errors, media/head wear (read error rate and
+// ECC activity), sector reallocation growth, overheating, seek degradation
+// and spin-up degradation — plus an abrupt mode with almost no warning.
+type FailureMode int
+
+const (
+	// ModeUncorrectable grows Reported Uncorrectable Errors (the dominant
+	// "W" family cause in the paper).
+	ModeUncorrectable FailureMode = iota
+	// ModeMedia degrades Raw Read Error Rate and Hardware ECC Recovered.
+	ModeMedia
+	// ModeRealloc grows the Reallocated Sectors counter.
+	ModeRealloc
+	// ModeThermal raises the operating temperature.
+	ModeThermal
+	// ModeSeek degrades the Seek Error Rate (the dominant "Q" cause).
+	ModeSeek
+	// ModeSpinUp degrades Spin Up Time.
+	ModeSpinUp
+	// ModeAbrupt fails with a very short window (hours) — caught only by
+	// per-sample detection, lost once voting windows grow.
+	ModeAbrupt
+	// ModeSilent fails with essentially no SMART signature (electronics
+	// failures); no model can predict these, which is what keeps the
+	// paper's detection rate below 100%.
+	ModeSilent
+
+	numModes = int(ModeSilent) + 1
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case ModeUncorrectable:
+		return "uncorrectable-errors"
+	case ModeMedia:
+		return "media-wear"
+	case ModeRealloc:
+		return "sector-reallocation"
+	case ModeThermal:
+		return "thermal"
+	case ModeSeek:
+		return "seek-degradation"
+	case ModeSpinUp:
+		return "spin-up"
+	case ModeAbrupt:
+		return "abrupt"
+	case ModeSilent:
+		return "silent"
+	default:
+		return fmt.Sprintf("FailureMode(%d)", int(m))
+	}
+}
+
+// FamilyParams holds every tunable of one drive family's synthetic
+// behaviour. The exported fields let experiments and tests construct small
+// or perturbed families; FamilyW and FamilyQ return the calibrated defaults.
+type FamilyParams struct {
+	// Name labels the family ("W", "Q").
+	Name string
+	// GoodCount and FailedCount are the population sizes before scaling.
+	GoodCount, FailedCount int
+
+	// NoiseScale multiplies every per-hour noise standard deviation.
+	NoiseScale float64
+	// OffsetScale multiplies every per-drive personality offset sd.
+	OffsetScale float64
+
+	// DriftNorm is the total downward shift (in normalized-value points)
+	// of the drifting attributes' population mean over the 8-week period.
+	// The drift ramps as 0.4·x² + 0.6·x⁴ of normalized time x, so it is
+	// gentle early and steep in the last weeks (paper Figs. 6–9).
+	DriftNorm float64
+	// DriftEventFactor scales how much benign error-event rates grow by
+	// the end of the period (1 = doubled).
+	DriftEventFactor float64
+
+	// EpisodeRate is the per-hour hazard of a benign degradation episode
+	// in a healthy drive (transient error bursts that recover).
+	EpisodeRate float64
+	// EpisodeMeanHours is the mean episode duration.
+	EpisodeMeanHours float64
+	// EpisodeDepthSd scales episode depth (normalized points).
+	EpisodeDepthSd float64
+
+	// ErrorProneFrac is the fraction of good drives with chronically
+	// elevated benign error activity — the hard negatives that keep the
+	// false-alarm rate of any classifier above zero.
+	ErrorProneFrac float64
+
+	// ModeWeights is the failure-mode mix (length numModes, need not be
+	// normalized).
+	ModeWeights []float64
+
+	// WindowMinHours/WindowMaxHours bound the deterioration window of
+	// non-abrupt failures; abrupt failures use 6–48 h.
+	WindowMinHours, WindowMaxHours int
+
+	// TempBase is the healthy operating temperature (°C).
+	TempBase float64
+	// TempDrift is the fleet-wide temperature rise (°C) by period end.
+	TempDrift float64
+
+	// AgeMeanGood/AgeMeanFailed are the mean power-on ages (hours) of
+	// good and failed drives at the start of the period; failed drives
+	// skew older, which is why Power On Hours carries signal.
+	AgeMeanGood, AgeMeanFailed float64
+
+	// SeekBase is the healthy Seek Error Rate normalized baseline, which
+	// differs between vendors/families.
+	SeekBase float64
+
+	// DropoutRate is the probability that any single hourly sample is
+	// lost (sampling/storage errors, §IV-A).
+	DropoutRate float64
+}
+
+// FamilyW returns the calibrated parameters of the large "W" family
+// (22,790 good and 434 failed drives in the paper's Table I).
+func FamilyW() FamilyParams {
+	return FamilyParams{
+		Name:             "W",
+		GoodCount:        22790,
+		FailedCount:      434,
+		NoiseScale:       1.0,
+		OffsetScale:      1.0,
+		DriftNorm:        9.0,
+		DriftEventFactor: 2.5,
+		EpisodeRate:      1.0 / 2800,
+		EpisodeMeanHours: 4,
+		EpisodeDepthSd:   3.5,
+		ErrorProneFrac:   0.005,
+		ModeWeights:      []float64{0.33, 0.16, 0.18, 0.12, 0.06, 0.08, 0.025, 0.045},
+		WindowMinHours:   280,
+		WindowMaxHours:   480,
+		TempBase:         38,
+		TempDrift:        1.5,
+		AgeMeanGood:      9000,
+		AgeMeanFailed:    13000,
+		SeekBase:         88,
+		DropoutRate:      0.01,
+	}
+}
+
+// FamilyQ returns the calibrated parameters of the small, noisier "Q"
+// family (2,441 good and 127 failed drives; seek-error-dominated failures).
+func FamilyQ() FamilyParams {
+	return FamilyParams{
+		Name:             "Q",
+		GoodCount:        2441,
+		FailedCount:      127,
+		NoiseScale:       1.35,
+		OffsetScale:      1.25,
+		DriftNorm:        7.5,
+		DriftEventFactor: 2.2,
+		EpisodeRate:      1.0 / 2000,
+		EpisodeMeanHours: 5,
+		EpisodeDepthSd:   4.5,
+		ErrorProneFrac:   0.012,
+		ModeWeights:      []float64{0.13, 0.14, 0.12, 0.12, 0.31, 0.06, 0.05, 0.07},
+		WindowMinHours:   260,
+		WindowMaxHours:   460,
+		TempBase:         41,
+		TempDrift:        1.2,
+		AgeMeanGood:      12000,
+		AgeMeanFailed:    16000,
+		SeekBase:         80,
+		DropoutRate:      0.012,
+	}
+}
+
+// Config configures a synthetic fleet.
+type Config struct {
+	// Seed determines every trace in the fleet.
+	Seed int64
+	// GoodScale and FailedScale scale the per-family population counts;
+	// 0 means 1.0 (full paper scale).
+	GoodScale, FailedScale float64
+	// Families lists the drive families; nil means {FamilyW(), FamilyQ()}.
+	Families []FamilyParams
+}
+
+// Drive describes one drive of the fleet. The ground truth (Failed,
+// FailHour, Window, Mode) is available to evaluation code; models only ever
+// see the SMART records.
+type Drive struct {
+	// Index is the drive's position in Fleet.Drives.
+	Index int
+	// Serial is a stable synthetic serial number.
+	Serial string
+	// Family is the family name.
+	Family string
+	// Failed reports whether this drive fails during the period.
+	Failed bool
+	// FailHour is the failure instant (hours since period start); only
+	// meaningful when Failed.
+	FailHour int
+	// Window is the deterioration-window length in hours (ground truth
+	// w_d of §III-B); only meaningful when Failed.
+	Window int
+	// Mode is the failure mode; only meaningful when Failed.
+	Mode FailureMode
+
+	seed int64
+	fam  int // index into fleet families
+}
+
+// Fleet is a reproducible synthetic drive population.
+type Fleet struct {
+	cfg      Config
+	families []FamilyParams
+	drives   []Drive
+}
+
+// New builds a fleet. Population counts are scaled by GoodScale/FailedScale
+// (with a floor of 1 drive per non-empty class).
+func New(cfg Config) (*Fleet, error) {
+	if cfg.GoodScale == 0 {
+		cfg.GoodScale = 1
+	}
+	if cfg.FailedScale == 0 {
+		cfg.FailedScale = 1
+	}
+	if cfg.GoodScale < 0 || cfg.FailedScale < 0 {
+		return nil, errors.New("simulate: negative scale")
+	}
+	fams := cfg.Families
+	if fams == nil {
+		fams = []FamilyParams{FamilyW(), FamilyQ()}
+	}
+	f := &Fleet{cfg: cfg, families: fams}
+	rng := rand.New(rand.NewSource(mix(cfg.Seed, 0x5eed)))
+	for fi := range fams {
+		fam := &fams[fi]
+		if len(fam.ModeWeights) != numModes {
+			return nil, fmt.Errorf("simulate: family %q has %d mode weights, want %d",
+				fam.Name, len(fam.ModeWeights), numModes)
+		}
+		good := scaleCount(fam.GoodCount, cfg.GoodScale)
+		failed := scaleCount(fam.FailedCount, cfg.FailedScale)
+		for i := 0; i < good+failed; i++ {
+			d := Drive{
+				Index:  len(f.drives),
+				Serial: fmt.Sprintf("%s-%06d", fam.Name, i),
+				Family: fam.Name,
+				Failed: i >= good,
+				fam:    fi,
+				seed:   mix(cfg.Seed, int64(fi)<<32|int64(i)),
+			}
+			if d.Failed {
+				// Failures land anywhere in the period late enough
+				// that the 20-day recording precedes them; the paper
+				// notes failed drives have no recorded chronological
+				// order, so a uniform placement is faithful.
+				d.FailHour = FailedHours + rng.Intn(TotalHours-FailedHours+1)
+				d.Mode = pickMode(rng, fam.ModeWeights)
+				if d.Mode == ModeAbrupt || d.Mode == ModeSilent {
+					d.Window = 3 + rng.Intn(10)
+				} else {
+					d.Window = fam.WindowMinHours +
+						rng.Intn(fam.WindowMaxHours-fam.WindowMinHours+1)
+				}
+			}
+			f.drives = append(f.drives, d)
+		}
+	}
+	return f, nil
+}
+
+// scaleCount scales a population count, keeping at least one drive when the
+// unscaled count was positive.
+func scaleCount(n int, scale float64) int {
+	if n == 0 {
+		return 0
+	}
+	s := int(math.Round(float64(n) * scale))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// pickMode samples a failure mode from the (unnormalized) weights.
+func pickMode(rng *rand.Rand, weights []float64) FailureMode {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for m, w := range weights {
+		x -= w
+		if x < 0 {
+			return FailureMode(m)
+		}
+	}
+	return FailureMode(len(weights) - 1)
+}
+
+// Drives returns the fleet's drive descriptors (shared slice; callers must
+// not modify it).
+func (f *Fleet) Drives() []Drive { return f.drives }
+
+// Family returns the parameters of the named family.
+func (f *Fleet) Family(name string) (FamilyParams, bool) {
+	for _, fam := range f.families {
+		if fam.Name == name {
+			return fam, true
+		}
+	}
+	return FamilyParams{}, false
+}
+
+// DrivesOf returns the descriptors of one family's drives.
+func (f *Fleet) DrivesOf(family string) []Drive {
+	var out []Drive
+	for _, d := range f.drives {
+		if d.Family == family {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Trace generates drive i's complete SMART trace: hourly records over the
+// whole 56-day period for good drives, or over the 20 days (480 h) before
+// failure for failed drives. A small fraction of records is missing
+// (sampling dropout). Traces are deterministic in (fleet seed, i).
+func (f *Fleet) Trace(i int) []smart.Record {
+	d := f.drives[i]
+	start, end := d.Span()
+	sim := newDriveSim(&d, &f.families[d.fam])
+	return sim.run(start, end)
+}
+
+// Span returns the half-open hour range [start, end) covered by the drive's
+// trace.
+func (d *Drive) Span() (start, end int) {
+	if !d.Failed {
+		return 0, TotalHours
+	}
+	start = d.FailHour - FailedHours
+	if start < 0 {
+		start = 0
+	}
+	return start, d.FailHour
+}
+
+// mix is a splitmix64-style seed mixer so per-drive streams are independent.
+func mix(a, b int64) int64 {
+	z := uint64(a)*0x9e3779b97f4a7c15 + uint64(b) + 0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// driftFrac is the normalized drift ramp: gentle early, steep late.
+func driftFrac(hour int) float64 {
+	x := float64(hour) / float64(TotalHours)
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return 0.4*x*x + 0.6*x*x*x*x
+}

@@ -1,0 +1,537 @@
+package simulate
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hddcart/internal/smart"
+)
+
+// tinyConfig is a small fleet for fast tests.
+func tinyConfig() Config {
+	w := FamilyW()
+	w.GoodCount = 60
+	w.FailedCount = 25
+	q := FamilyQ()
+	q.GoodCount = 30
+	q.FailedCount = 12
+	return Config{Seed: 42, Families: []FamilyParams{w, q}}
+}
+
+func TestNewCounts(t *testing.T) {
+	f, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodW, failW, goodQ, failQ int
+	for _, d := range f.Drives() {
+		switch {
+		case d.Family == "W" && d.Failed:
+			failW++
+		case d.Family == "W":
+			goodW++
+		case d.Family == "Q" && d.Failed:
+			failQ++
+		default:
+			goodQ++
+		}
+	}
+	if goodW != 60 || failW != 25 || goodQ != 30 || failQ != 12 {
+		t.Errorf("counts = W %d/%d, Q %d/%d; want 60/25, 30/12", goodW, failW, goodQ, failQ)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GoodScale = 0.5
+	cfg.FailedScale = 0.2
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.DrivesOf("W")
+	var good, failed int
+	for _, d := range w {
+		if d.Failed {
+			failed++
+		} else {
+			good++
+		}
+	}
+	if good != 30 {
+		t.Errorf("scaled good = %d, want 30", good)
+	}
+	if failed != 5 {
+		t.Errorf("scaled failed = %d, want 5", failed)
+	}
+}
+
+func TestScalingFloor(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GoodScale = 1e-9
+	cfg.FailedScale = 1e-9
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"W", "Q"} {
+		var good, failed int
+		for _, d := range f.DrivesOf(fam) {
+			if d.Failed {
+				failed++
+			} else {
+				good++
+			}
+		}
+		if good < 1 || failed < 1 {
+			t.Errorf("family %s scaled to %d good/%d failed; floor is 1", fam, good, failed)
+		}
+	}
+}
+
+func TestNegativeScaleRejected(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GoodScale = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative scale should be rejected")
+	}
+}
+
+func TestBadModeWeightsRejected(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Families[0].ModeWeights = []float64{1, 2}
+	if _, err := New(cfg); err == nil {
+		t.Error("wrong-length mode weights should be rejected")
+	}
+}
+
+func TestDefaultFamilies(t *testing.T) {
+	f, err := New(Config{Seed: 1, GoodScale: 0.001, FailedScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Family("W"); !ok {
+		t.Error("default fleet missing family W")
+	}
+	if _, ok := f.Family("Q"); !ok {
+		t.Error("default fleet missing family Q")
+	}
+	if _, ok := f.Family("Z"); ok {
+		t.Error("unexpected family Z")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f1, _ := New(tinyConfig())
+	f2, _ := New(tinyConfig())
+	for _, i := range []int{0, 5, 61, 80} {
+		a := f1.Trace(i)
+		b := f2.Trace(i)
+		if len(a) != len(b) {
+			t.Fatalf("drive %d: trace lengths differ (%d vs %d)", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("drive %d: records at %d differ", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedChangesTraces(t *testing.T) {
+	cfg := tinyConfig()
+	f1, _ := New(cfg)
+	cfg.Seed = 43
+	f2, _ := New(cfg)
+	a, b := f1.Trace(0), f2.Trace(0)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := true
+	for j := 0; j < n; j++ {
+		if a[j] != b[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	f, _ := New(tinyConfig())
+	for _, d := range f.Drives() {
+		start, end := d.Span()
+		if !d.Failed {
+			if start != 0 || end != TotalHours {
+				t.Fatalf("good drive span = [%d,%d), want [0,%d)", start, end, TotalHours)
+			}
+		} else {
+			if d.FailHour < FailedHours || d.FailHour > TotalHours {
+				t.Fatalf("FailHour %d outside [%d,%d]", d.FailHour, FailedHours, TotalHours)
+			}
+			if end != d.FailHour || end-start != FailedHours {
+				t.Fatalf("failed span = [%d,%d) with FailHour %d", start, end, d.FailHour)
+			}
+		}
+		trace := f.Trace(d.Index)
+		if len(trace) == 0 {
+			t.Fatalf("drive %d has empty trace", d.Index)
+		}
+		if trace[0].Hour < start || trace[len(trace)-1].Hour >= end {
+			t.Fatalf("drive %d trace hours [%d,%d] outside span [%d,%d)",
+				d.Index, trace[0].Hour, trace[len(trace)-1].Hour, start, end)
+		}
+		if d.Failed && trace[len(trace)-1].Hour != end-1 {
+			t.Errorf("failed drive %d must keep its final record", d.Index)
+		}
+		for j := 1; j < len(trace); j++ {
+			if trace[j].Hour <= trace[j-1].Hour {
+				t.Fatalf("drive %d trace not strictly increasing at %d", d.Index, j)
+			}
+		}
+	}
+}
+
+func TestDropout(t *testing.T) {
+	f, _ := New(tinyConfig())
+	var total, kept int
+	for _, d := range f.DrivesOf("W") {
+		if d.Failed {
+			continue
+		}
+		total += TotalHours
+		kept += len(f.Trace(d.Index))
+	}
+	lossRate := 1 - float64(kept)/float64(total)
+	if lossRate <= 0 || lossRate > 0.05 {
+		t.Errorf("dropout rate = %.4f, want in (0, 0.05]", lossRate)
+	}
+}
+
+func TestNormalizedValuesInRange(t *testing.T) {
+	f, _ := New(tinyConfig())
+	for _, i := range []int{0, 30, 61, 85} {
+		for _, rec := range f.Trace(i) {
+			for k, v := range rec.Normalized {
+				if v < 1 || v > 253 {
+					t.Fatalf("drive %d attr %d normalized = %v out of range", i, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCountersMonotone(t *testing.T) {
+	f, _ := New(tinyConfig())
+	counters := []smart.AttrID{
+		smart.ReallocatedSectors, smart.ReportedUncorrectable,
+		smart.HighFlyWrites, smart.UDMACRCErrorCount, smart.PowerOnHours,
+	}
+	for _, d := range f.Drives()[:40] {
+		trace := f.Trace(d.Index)
+		for _, id := range counters {
+			prev := -math.MaxFloat64
+			for _, rec := range trace {
+				v := rec.RawOf(id)
+				if v < prev {
+					t.Fatalf("drive %d: raw %s decreased (%v -> %v)", d.Index, smart.Name(id), prev, v)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// meanNormWindow averages one attribute's normalized value over a slice of
+// a drive's records.
+func meanNormWindow(recs []smart.Record, id smart.AttrID) float64 {
+	if len(recs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range recs {
+		sum += recs[i].NormalizedOf(id)
+	}
+	return sum / float64(len(recs))
+}
+
+func TestFailedDrivesDegrade(t *testing.T) {
+	f, _ := New(tinyConfig())
+	// Averaged over all failed drives, health-signal attributes must be
+	// clearly lower in the last 24 h than in the first 24 h of the trace.
+	signals := []smart.AttrID{
+		smart.RawReadErrorRate, smart.HardwareECCRecovered,
+		smart.ReportedUncorrectable, smart.ReallocatedSectors,
+	}
+	for _, id := range signals {
+		var early, late float64
+		var n int
+		for _, d := range f.Drives() {
+			if !d.Failed || d.Mode == ModeAbrupt || d.Mode == ModeSilent {
+				continue
+			}
+			trace := f.Trace(d.Index)
+			if len(trace) < 48 {
+				continue
+			}
+			early += meanNormWindow(trace[:24], id)
+			late += meanNormWindow(trace[len(trace)-24:], id)
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no failed drives in tiny fleet")
+		}
+		drop := (early - late) / float64(n)
+		if drop < 1 {
+			t.Errorf("%s: mean degradation drop = %.2f points, want ≥ 1", smart.Name(id), drop)
+		}
+	}
+}
+
+func TestGoodDrivesStable(t *testing.T) {
+	f, _ := New(tinyConfig())
+	// A good drive's mean Reported Uncorrectable normalized value must
+	// stay near 100 through the whole period (events are rare).
+	var sum float64
+	var n int
+	for _, d := range f.DrivesOf("W") {
+		if d.Failed {
+			continue
+		}
+		trace := f.Trace(d.Index)
+		sum += meanNormWindow(trace, smart.ReportedUncorrectable)
+		n++
+	}
+	if mean := sum / float64(n); mean < 95 {
+		t.Errorf("good-drive mean RUE normalized = %.2f, want ≥ 95", mean)
+	}
+}
+
+func TestPopulationDrift(t *testing.T) {
+	// The healthy population's drifting attributes must move downward
+	// from week 1 to week 8 — the mechanism behind model aging.
+	f, _ := New(tinyConfig())
+	for _, id := range []smart.AttrID{smart.HardwareECCRecovered, smart.RawReadErrorRate} {
+		var week1, week8 float64
+		var n1, n8 int
+		for _, d := range f.DrivesOf("W") {
+			if d.Failed {
+				continue
+			}
+			for _, rec := range f.Trace(d.Index) {
+				switch {
+				case rec.Hour < HoursPerWeek:
+					week1 += rec.NormalizedOf(id)
+					n1++
+				case rec.Hour >= 7*HoursPerWeek:
+					week8 += rec.NormalizedOf(id)
+					n8++
+				}
+			}
+		}
+		w1, w8 := week1/float64(n1), week8/float64(n8)
+		if w8 >= w1-0.5 {
+			t.Errorf("%s: week1 mean %.2f, week8 mean %.2f; want ≥ 0.5 point drop",
+				smart.Name(id), w1, w8)
+		}
+	}
+}
+
+func TestDriftRampShape(t *testing.T) {
+	// Drift must accelerate: the last-quarter increase exceeds the
+	// first-quarter increase (paper: "after the sixth week the up trend
+	// becomes very steep").
+	q1 := driftFrac(TotalHours / 4)
+	q4 := 1 - driftFrac(3*TotalHours/4)
+	if q4 <= q1 {
+		t.Errorf("drift ramp not accelerating: first quarter %.3f, last quarter %.3f", q1, q4)
+	}
+	if driftFrac(0) != 0 {
+		t.Error("driftFrac(0) != 0")
+	}
+	if got := driftFrac(TotalHours); math.Abs(got-1) > 1e-12 {
+		t.Errorf("driftFrac(TotalHours) = %v, want 1", got)
+	}
+}
+
+func TestDriftFracMonotone(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		ha := int(a) % (TotalHours + 1)
+		hb := int(b) % (TotalHours + 1)
+		if ha > hb {
+			ha, hb = hb, ha
+		}
+		return driftFrac(ha) <= driftFrac(hb)+1e-12
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampNormProperty(t *testing.T) {
+	err := quick.Check(func(v float64) bool {
+		c := clampNorm(v)
+		return c >= 1 && c <= 253
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeDistribution(t *testing.T) {
+	w := FamilyW()
+	w.GoodCount = 1
+	w.FailedCount = 3000
+	f, err := New(Config{Seed: 7, Families: []FamilyParams{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, numModes)
+	total := 0
+	for _, d := range f.Drives() {
+		if d.Failed {
+			counts[d.Mode]++
+			total++
+		}
+	}
+	weightSum := 0.0
+	for _, x := range w.ModeWeights {
+		weightSum += x
+	}
+	for m, c := range counts {
+		want := w.ModeWeights[m] / weightSum
+		got := float64(c) / float64(total)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("mode %v frequency = %.3f, want ≈ %.3f", FailureMode(m), got, want)
+		}
+	}
+}
+
+func TestAbruptWindowsShort(t *testing.T) {
+	f, _ := New(tinyConfig())
+	for _, d := range f.Drives() {
+		if !d.Failed {
+			continue
+		}
+		if d.Mode == ModeAbrupt || d.Mode == ModeSilent {
+			if d.Window < 3 || d.Window > 12 {
+				t.Errorf("abrupt/silent window = %d, want 3..12", d.Window)
+			}
+		} else {
+			fam, _ := f.Family(d.Family)
+			if d.Window < fam.WindowMinHours || d.Window > fam.WindowMaxHours {
+				t.Errorf("%v window = %d, want %d..%d", d.Mode, d.Window,
+					fam.WindowMinHours, fam.WindowMaxHours)
+			}
+		}
+	}
+}
+
+func TestFamiliesDiffer(t *testing.T) {
+	f, _ := New(tinyConfig())
+	// Seek Error Rate baselines differ between W and Q.
+	meanFor := func(fam string) float64 {
+		var sum float64
+		var n int
+		for _, d := range f.DrivesOf(fam) {
+			if d.Failed {
+				continue
+			}
+			trace := f.Trace(d.Index)
+			sum += meanNormWindow(trace[:100], smart.SeekErrorRate)
+			n++
+		}
+		return sum / float64(n)
+	}
+	w, q := meanFor("W"), meanFor("Q")
+	if math.Abs(w-q) < 3 {
+		t.Errorf("family SER baselines too close: W %.2f vs Q %.2f", w, q)
+	}
+}
+
+func TestFailureModeString(t *testing.T) {
+	seen := make(map[string]bool)
+	for m := FailureMode(0); int(m) < numModes; m++ {
+		s := m.String()
+		if s == "" || seen[s] {
+			t.Errorf("mode %d has empty or duplicate name %q", m, s)
+		}
+		seen[s] = true
+	}
+	if FailureMode(99).String() != "FailureMode(99)" {
+		t.Error("unknown mode should format numerically")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	d := Drive{seed: 99}
+	fam := FamilyW()
+	s := newDriveSim(&d, &fam)
+	for _, lambda := range []float64{0.01, 0.5, 3, 50} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.poisson(lambda)
+		}
+		mean := float64(sum) / float64(n)
+		tol := 4 * math.Sqrt(lambda/float64(n)) // ~4 sigma
+		if math.Abs(mean-lambda) > tol+0.01 {
+			t.Errorf("poisson(%v) mean = %v, want within %v", lambda, mean, tol)
+		}
+	}
+	if s.poisson(0) != 0 || s.poisson(-1) != 0 {
+		t.Error("poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestWearCurve(t *testing.T) {
+	if wear(0) != 0 || wear(-1) != 0 {
+		t.Error("wear must be 0 at or before window start")
+	}
+	if math.Abs(wear(1)-1) > 1e-12 {
+		t.Error("wear(1) != 1")
+	}
+	// Concavity: wear rises faster early in the window.
+	if wear(0.25) <= 0.25 {
+		t.Error("wear curve should be concave (fast early onset)")
+	}
+}
+
+func TestFamilyParamsJSONRoundTrip(t *testing.T) {
+	// cmd/gendata lets operators persist and edit family parameters as
+	// JSON; every tunable must survive the round trip.
+	orig := FamilyW()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FamilyParams
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip changed params:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestCustomFamilyFleet(t *testing.T) {
+	fam := FamilyW()
+	fam.Name = "X"
+	fam.GoodCount, fam.FailedCount = 8, 3
+	f, err := New(Config{Seed: 4, Families: []FamilyParams{fam}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.DrivesOf("X")); got != 11 {
+		t.Errorf("custom family drives = %d, want 11", got)
+	}
+	if _, ok := f.Family("W"); ok {
+		t.Error("default families should be replaced by custom ones")
+	}
+}

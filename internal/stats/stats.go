@@ -1,0 +1,254 @@
+// Package stats implements the non-parametric statistical methods the
+// paper uses for feature selection (§IV-B): the Wilcoxon rank-sum test,
+// the reverse-arrangements test and z-scores, plus the small descriptive
+// helpers shared across the library.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (NaN for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN when len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// WeightedMean returns the weighted mean of xs (NaN when weights sum to 0).
+func WeightedMean(xs, ws []float64) float64 {
+	var sum, wsum float64
+	for i, x := range xs {
+		sum += x * ws[i]
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return math.NaN()
+	}
+	return sum / wsum
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// NormalCDF returns P(Z ≤ z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// TwoSidedP converts a z statistic to a two-sided normal p-value.
+func TwoSidedP(z float64) float64 {
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// Ranks assigns 1-based ranks to xs, averaging ranks across ties (the
+// mid-rank convention required by the rank-sum test).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Tied block [i..j] gets the average of ranks i+1..j+1.
+		avg := float64(i+j+2) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// RankSumResult is the outcome of a Wilcoxon rank-sum (Mann-Whitney) test.
+type RankSumResult struct {
+	// W is the rank sum of the first sample.
+	W float64
+	// Z is the normal-approximation statistic with tie correction;
+	// positive Z means the first sample tends to be larger.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// RankSum runs the Wilcoxon rank-sum test on samples x and y using the
+// normal approximation with tie correction. The paper applies it to failed
+// versus good sample values of each candidate SMART feature, following
+// Hughes et al. Empty inputs yield a zero result.
+func RankSum(x, y []float64) RankSumResult {
+	nx, ny := len(x), len(y)
+	if nx == 0 || ny == 0 {
+		return RankSumResult{}
+	}
+	all := make([]float64, 0, nx+ny)
+	all = append(all, x...)
+	all = append(all, y...)
+	ranks := Ranks(all)
+
+	w := 0.0
+	for i := 0; i < nx; i++ {
+		w += ranks[i]
+	}
+	n := float64(nx + ny)
+	mean := float64(nx) * (n + 1) / 2
+
+	// Tie correction: subtract Σ(t³−t)/(n(n−1)) from the variance term.
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	tieSum := 0.0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		tieSum += t*t*t - t
+		i = j + 1
+	}
+	variance := float64(nx) * float64(ny) / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if variance <= 0 {
+		// All values tied: no evidence either way.
+		return RankSumResult{W: w}
+	}
+	z := (w - mean) / math.Sqrt(variance)
+	return RankSumResult{W: w, Z: z, P: TwoSidedP(z)}
+}
+
+// ReverseArrangementsResult is the outcome of a reverse-arrangements trend
+// test on a time series.
+type ReverseArrangementsResult struct {
+	// A is the number of reverse arrangements: pairs i < j with
+	// x[i] > x[j].
+	A int
+	// Z is the normal-approximation statistic; negative Z indicates an
+	// increasing trend (fewer reversals than chance), positive Z a
+	// decreasing trend.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// ReverseArrangements tests a series for monotonic trend. Under the null
+// (exchangeable series) A has mean n(n−1)/4 and variance n(n−1)(2n+5)/72.
+// The paper applies it to each attribute's time series in failed drives: a
+// deteriorating attribute shows a strong trend. Series shorter than 3
+// yield a zero result.
+func ReverseArrangements(xs []float64) ReverseArrangementsResult {
+	n := len(xs)
+	if n < 3 {
+		return ReverseArrangementsResult{}
+	}
+	a := countReversePairs(xs)
+	fn := float64(n)
+	mean := fn * (fn - 1) / 4
+	variance := fn * (fn - 1) * (2*fn + 5) / 72
+	z := (float64(a) - mean) / math.Sqrt(variance)
+	return ReverseArrangementsResult{A: a, Z: z, P: TwoSidedP(z)}
+}
+
+// countReversePairs counts pairs i<j with xs[i] > xs[j] in O(n log n) via
+// merge sort (ties are not reversals).
+func countReversePairs(xs []float64) int {
+	buf := append([]float64(nil), xs...)
+	tmp := make([]float64, len(xs))
+	return mergeCount(buf, tmp)
+}
+
+func mergeCount(a, tmp []float64) int {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	count := mergeCount(a[:mid], tmp[:mid]) + mergeCount(a[mid:], tmp[mid:])
+	// Merge, counting left elements strictly greater than right elements.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] > a[j] {
+			count += mid - i
+			tmp[k] = a[j]
+			j++
+		} else {
+			tmp[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		tmp[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		tmp[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, tmp[:n])
+	return count
+}
+
+// ZScore returns the Welch two-sample z statistic comparing the means of x
+// and y: (mean(x) − mean(y)) / sqrt(var(x)/nx + var(y)/ny). Murray et al.
+// use it as a cheap per-feature discriminability score. Degenerate inputs
+// (fewer than 2 points, or zero pooled variance) yield 0.
+func ZScore(x, y []float64) float64 {
+	if len(x) < 2 || len(y) < 2 {
+		return 0
+	}
+	vx, vy := Variance(x), Variance(y)
+	denom := math.Sqrt(vx/float64(len(x)) + vy/float64(len(y)))
+	if denom == 0 || math.IsNaN(denom) {
+		return 0
+	}
+	return (Mean(x) - Mean(y)) / denom
+}

@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if s := StdDev(xs); !almost(s, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of singleton should be NaN")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 3}); !almost(got, 2.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(WeightedMean([]float64{1}, []float64{0})) {
+		t.Error("zero total weight should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.125, 1.5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almost(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	tests := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.99865},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.z); !almost(got, tt.want, 1e-4) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{10, 20, 30})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksSumInvariant(t *testing.T) {
+	// Σranks must always be n(n+1)/2 regardless of ties.
+	err := quick.Check(func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v % 4) // force many ties
+		}
+		sum := 0.0
+		for _, r := range Ranks(xs) {
+			sum += r
+		}
+		n := float64(len(xs))
+		return almost(sum, n*(n+1)/2, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankSumKnown(t *testing.T) {
+	// Textbook example: clearly separated samples.
+	x := []float64{1, 2, 3}
+	y := []float64{10, 11, 12, 13}
+	res := RankSum(x, y)
+	if res.W != 6 { // ranks 1+2+3
+		t.Errorf("W = %v, want 6", res.W)
+	}
+	if res.Z >= 0 {
+		t.Errorf("Z = %v, want negative (x smaller)", res.Z)
+	}
+	if res.P > 0.05 {
+		t.Errorf("P = %v, want < 0.05", res.P)
+	}
+}
+
+func TestRankSumSymmetry(t *testing.T) {
+	x := []float64{1, 5, 7, 3}
+	y := []float64{2, 8, 4, 9, 6}
+	a, b := RankSum(x, y), RankSum(y, x)
+	if !almost(a.Z, -b.Z, 1e-12) {
+		t.Errorf("Z not antisymmetric: %v vs %v", a.Z, b.Z)
+	}
+	if !almost(a.P, b.P, 1e-12) {
+		t.Errorf("P not symmetric: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestRankSumIdenticalSamples(t *testing.T) {
+	x := []float64{5, 5, 5}
+	res := RankSum(x, x)
+	if res.Z != 0 {
+		t.Errorf("all-tied Z = %v, want 0", res.Z)
+	}
+}
+
+func TestRankSumNull(t *testing.T) {
+	// Under the null, |Z| should rarely be large.
+	rng := rand.New(rand.NewSource(1))
+	big := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 30)
+		y := make([]float64, 40)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		for j := range y {
+			y[j] = rng.NormFloat64()
+		}
+		if math.Abs(RankSum(x, y).Z) > 2.57 { // ~1% two-sided
+			big++
+		}
+	}
+	if big > 10 {
+		t.Errorf("null rejections = %d/%d, far above nominal 1%%", big, trials)
+	}
+}
+
+func TestRankSumEmpty(t *testing.T) {
+	if res := RankSum(nil, []float64{1}); res.Z != 0 || res.W != 0 {
+		t.Error("empty input should give zero result")
+	}
+}
+
+func TestReverseArrangementsCount(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want int
+	}{
+		{[]float64{1, 2, 3, 4}, 0},
+		{[]float64{4, 3, 2, 1}, 6},
+		{[]float64{2, 1, 3}, 1},
+		{[]float64{1, 1, 1}, 0}, // ties are not reversals
+		{[]float64{3, 1, 2}, 2},
+	}
+	for _, tt := range tests {
+		if got := ReverseArrangements(tt.xs).A; got != tt.want {
+			t.Errorf("A(%v) = %d, want %d", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestCountReversePairsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10)) // ties likely
+		}
+		brute := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if xs[i] > xs[j] {
+					brute++
+				}
+			}
+		}
+		if got := countReversePairs(xs); got != brute {
+			t.Fatalf("countReversePairs(%v) = %d, want %d", xs, got, brute)
+		}
+	}
+}
+
+func TestReverseArrangementsTrend(t *testing.T) {
+	// A strongly decreasing noisy series must give a large positive Z.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 100 - float64(i) + rng.NormFloat64()*2
+	}
+	res := ReverseArrangements(xs)
+	if res.Z < 3 {
+		t.Errorf("decreasing trend Z = %v, want > 3", res.Z)
+	}
+	// Increasing series: strongly negative.
+	for i := range xs {
+		xs[i] = float64(i) + rng.NormFloat64()*2
+	}
+	if res := ReverseArrangements(xs); res.Z > -3 {
+		t.Errorf("increasing trend Z = %v, want < -3", res.Z)
+	}
+}
+
+func TestReverseArrangementsNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 50)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()
+		}
+		if math.Abs(ReverseArrangements(xs).Z) > 2.57 {
+			big++
+		}
+	}
+	if big > 10 {
+		t.Errorf("null rejections = %d/%d", big, trials)
+	}
+}
+
+func TestReverseArrangementsShort(t *testing.T) {
+	if res := ReverseArrangements([]float64{1, 2}); res.Z != 0 || res.A != 0 {
+		t.Error("short series should give zero result")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	x := []float64{10, 11, 9, 10, 10}
+	y := []float64{0, 1, -1, 0, 0}
+	if z := ZScore(x, y); z < 10 {
+		t.Errorf("separated samples z = %v, want large positive", z)
+	}
+	if z := ZScore(y, x); z > -10 {
+		t.Errorf("reversed z = %v, want large negative", z)
+	}
+	if z := ZScore([]float64{1}, y); z != 0 {
+		t.Errorf("degenerate z = %v, want 0", z)
+	}
+	if z := ZScore([]float64{5, 5, 5}, []float64{5, 5, 5}); z != 0 {
+		t.Errorf("zero-variance z = %v, want 0", z)
+	}
+}
+
+func TestQuantileSortedInvariance(t *testing.T) {
+	// Quantile must not depend on input order and must not modify input.
+	xs := []float64{9, 1, 5, 3, 7}
+	orig := append([]float64(nil), xs...)
+	q1 := Quantile(xs, 0.5)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Quantile modified its input")
+		}
+	}
+	sort.Float64s(xs)
+	if q2 := Quantile(xs, 0.5); q1 != q2 {
+		t.Errorf("order dependence: %v vs %v", q1, q2)
+	}
+}

@@ -1,0 +1,371 @@
+// Package storagesim is a discrete-event simulator of a RAID-based storage
+// system with proactive fault tolerance. It closes the loop on the paper's
+// §VI: where the Fig. 11 Markov model assumes unlimited maintenance
+// capacity and exponential rates, the simulator injects drive failures,
+// prediction warnings (with a configurable detection rate, lead-time
+// distribution and false alarm rate) and a *finite* maintenance crew, and
+// measures data-loss events directly. It both cross-validates the Markov
+// results and answers the operational question the paper leaves open: how
+// much maintenance capacity does proactive fault tolerance actually need?
+package storagesim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Groups is the number of independent RAID groups.
+	Groups int
+	// DrivesPerGroup is the group width N.
+	DrivesPerGroup int
+	// Parity is the number of erasures a group tolerates (2 = RAID-6,
+	// 1 = RAID-5): one more concurrent erasure loses the group's data.
+	Parity int
+
+	// MTTFHours is each drive's mean time to failure (exponential).
+	MTTFHours float64
+	// RepairHours is the mean rebuild time of a failed drive
+	// (exponential).
+	RepairHours float64
+	// MigrateHours is the mean time to proactively copy a predicted
+	// drive off and replace it (exponential; 0 = same as RepairHours).
+	MigrateHours float64
+
+	// FDR is the probability a failure is predicted in advance.
+	FDR float64
+	// TIAMeanHours is the mean warning lead time (exponential). A
+	// predicted drive fails TIA hours after its warning unless its
+	// migration completes first.
+	TIAMeanHours float64
+	// FalseAlarmsPerDriveYear is the rate of spurious warnings, each of
+	// which occupies the maintenance crew for a migration.
+	FalseAlarmsPerDriveYear float64
+
+	// Crew is the maximum number of concurrent repairs+migrations
+	// (0 = unlimited, matching the Markov model's assumption).
+	Crew int
+
+	// HorizonHours is the simulated time span.
+	HorizonHours float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Groups <= 0:
+		return errors.New("storagesim: need ≥ 1 group")
+	case c.Parity < 1:
+		return errors.New("storagesim: parity must be ≥ 1")
+	case c.DrivesPerGroup <= c.Parity:
+		return fmt.Errorf("storagesim: group width %d must exceed parity %d", c.DrivesPerGroup, c.Parity)
+	case c.MTTFHours <= 0 || c.RepairHours <= 0:
+		return errors.New("storagesim: MTTF and repair time must be positive")
+	case c.FDR < 0 || c.FDR > 1:
+		return fmt.Errorf("storagesim: FDR %v outside [0,1]", c.FDR)
+	case c.FDR > 0 && c.TIAMeanHours <= 0:
+		return errors.New("storagesim: prediction needs a positive TIA")
+	case c.HorizonHours <= 0:
+		return errors.New("storagesim: horizon must be positive")
+	}
+	return nil
+}
+
+// Result aggregates one run.
+type Result struct {
+	// DataLossEvents counts group losses (a lost group resets and keeps
+	// running, so long horizons estimate a loss rate).
+	DataLossEvents int
+	// DriveFailures counts actual drive deaths.
+	DriveFailures int
+	// PredictedFailures counts deaths that had a prior warning.
+	PredictedFailures int
+	// SavedByMigration counts predicted drives migrated before death.
+	SavedByMigration int
+	// FalseAlarms counts spurious warnings raised.
+	FalseAlarms int
+	// MaxBacklog is the worst crew queue length observed.
+	MaxBacklog int
+	// CrewBusyHours accumulates crew-occupied time.
+	CrewBusyHours float64
+	// MTTDLHours estimates the per-group mean time to data loss:
+	// groups·horizon / losses (+Inf when no loss occurred).
+	MTTDLHours float64
+}
+
+// event kinds.
+const (
+	evFailure = iota // an unpredicted drive dies
+	evWarning        // a warning fires (real or false)
+	evDeath          // a predicted drive dies unless migrated first
+	evService        // the crew finishes a repair or migration
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at    float64
+	kind  int
+	group int
+	drive int
+	// epoch validates failure-related events: a slot's epoch increments
+	// whenever its physical drive is replaced, invalidating the old
+	// drive's scheduled events. −1 means "always valid".
+	epoch int
+	// real marks warnings backed by an actual upcoming failure.
+	real bool
+	// deathAt is the predicted drive's failure instant (real warnings).
+	deathAt float64
+	// repair distinguishes service completions: true = rebuild of a
+	// failed drive, false = proactive migration.
+	repair bool
+	seq    int
+}
+
+// eventQueue is a time-ordered heap.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// driveState tracks one drive slot.
+type driveState int
+
+const (
+	healthy driveState = iota
+	predicted
+	failed
+)
+
+// serviceRequest is a pending crew job.
+type serviceRequest struct {
+	group, drive int
+	repair       bool
+}
+
+// sim is the running simulation.
+type sim struct {
+	cfg Config
+	rng *rand.Rand
+	q   eventQueue
+	seq int
+
+	state   [][]driveState
+	epoch   [][]int
+	erased  []int // current erasures per group
+	busy    int
+	backlog []serviceRequest
+	res     Result
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	s := &sim{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		state:  make([][]driveState, cfg.Groups),
+		epoch:  make([][]int, cfg.Groups),
+		erased: make([]int, cfg.Groups),
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		s.state[g] = make([]driveState, cfg.DrivesPerGroup)
+		s.epoch[g] = make([]int, cfg.DrivesPerGroup)
+		for d := 0; d < cfg.DrivesPerGroup; d++ {
+			s.scheduleNextFailure(0, g, d)
+			s.scheduleFalseAlarms(g, d)
+		}
+	}
+	s.loop()
+	if s.res.DataLossEvents > 0 {
+		s.res.MTTDLHours = float64(cfg.Groups) * cfg.HorizonHours / float64(s.res.DataLossEvents)
+	} else {
+		s.res.MTTDLHours = math.Inf(1)
+	}
+	return s.res, nil
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.q, e)
+}
+
+// exp draws an exponential with the given mean.
+func (s *sim) exp(mean float64) float64 { return s.rng.ExpFloat64() * mean }
+
+// scheduleNextFailure draws the slot's next organic failure and, with
+// probability FDR, a warning TIA hours before it.
+func (s *sim) scheduleNextFailure(now float64, g, d int) {
+	failAt := now + s.exp(s.cfg.MTTFHours)
+	if failAt > s.cfg.HorizonHours {
+		return
+	}
+	ep := s.epoch[g][d]
+	if s.cfg.FDR > 0 && s.rng.Float64() < s.cfg.FDR {
+		warnAt := failAt - s.exp(s.cfg.TIAMeanHours)
+		if warnAt < now {
+			warnAt = now
+		}
+		s.push(&event{at: warnAt, kind: evWarning, group: g, drive: d, epoch: ep, real: true, deathAt: failAt})
+	} else {
+		s.push(&event{at: failAt, kind: evFailure, group: g, drive: d, epoch: ep})
+	}
+}
+
+// scheduleFalseAlarms lays out a slot's spurious warnings over the whole
+// horizon; they are epoch-independent (any drive in the slot can trigger
+// one).
+func (s *sim) scheduleFalseAlarms(g, d int) {
+	if s.cfg.FalseAlarmsPerDriveYear <= 0 {
+		return
+	}
+	mean := 24 * 365 / s.cfg.FalseAlarmsPerDriveYear
+	for t := s.exp(mean); t < s.cfg.HorizonHours; t += s.exp(mean) {
+		s.push(&event{at: t, kind: evWarning, group: g, drive: d, epoch: -1, real: false})
+	}
+}
+
+// requestService queues a repair/migration with the crew.
+func (s *sim) requestService(now float64, g, d int, repair bool) {
+	req := serviceRequest{g, d, repair}
+	if s.cfg.Crew > 0 && s.busy >= s.cfg.Crew {
+		s.backlog = append(s.backlog, req)
+		if len(s.backlog) > s.res.MaxBacklog {
+			s.res.MaxBacklog = len(s.backlog)
+		}
+		return
+	}
+	s.startService(now, req)
+}
+
+func (s *sim) startService(now float64, req serviceRequest) {
+	s.busy++
+	mean := s.cfg.RepairHours
+	if !req.repair {
+		if s.cfg.MigrateHours > 0 {
+			mean = s.cfg.MigrateHours
+		}
+	}
+	dur := s.exp(mean)
+	s.res.CrewBusyHours += dur
+	s.push(&event{
+		at: now + dur, kind: evService,
+		group: req.group, drive: req.drive, epoch: -1, repair: req.repair,
+	})
+}
+
+// stillWanted reports whether a service request is still meaningful.
+func (s *sim) stillWanted(req serviceRequest) bool {
+	st := s.state[req.group][req.drive]
+	return (req.repair && st == failed) || (!req.repair && st == predicted)
+}
+
+// finishService releases a crew member and dispatches the next still-valid
+// backlog entry.
+func (s *sim) finishService(now float64) {
+	s.busy--
+	for len(s.backlog) > 0 {
+		req := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		if s.stillWanted(req) {
+			s.startService(now, req)
+			return
+		}
+	}
+}
+
+// replaceDrive installs a fresh drive in the slot: epoch bump invalidates
+// the old drive's scheduled failure/death, and a new failure is drawn.
+func (s *sim) replaceDrive(now float64, g, d int) {
+	s.state[g][d] = healthy
+	s.epoch[g][d]++
+	s.scheduleNextFailure(now, g, d)
+}
+
+// loseGroup records a data loss and restarts the group from all-healthy.
+func (s *sim) loseGroup(now float64, g int) {
+	s.res.DataLossEvents++
+	s.erased[g] = 0
+	for d := range s.state[g] {
+		s.state[g][d] = healthy
+		s.epoch[g][d]++
+		s.scheduleNextFailure(now, g, d)
+	}
+}
+
+func (s *sim) loop() {
+	for s.q.Len() > 0 {
+		e := heap.Pop(&s.q).(*event)
+		if e.at > s.cfg.HorizonHours {
+			break
+		}
+		g, d := e.group, e.drive
+		if e.epoch != -1 && e.epoch != s.epoch[g][d] {
+			continue // event of an already-replaced drive
+		}
+		switch e.kind {
+		case evWarning:
+			if e.real {
+				// The death happens regardless of what the warning
+				// triggers; carry the slot's current epoch so a
+				// completed migration cancels it.
+				s.push(&event{at: e.deathAt, kind: evDeath, group: g, drive: d, epoch: s.epoch[g][d]})
+			} else {
+				s.res.FalseAlarms++
+			}
+			if s.state[g][d] != healthy {
+				continue // already failed or being handled
+			}
+			s.state[g][d] = predicted
+			s.requestService(e.at, g, d, false)
+
+		case evFailure, evDeath:
+			if s.state[g][d] == failed {
+				continue // defensive: already down
+			}
+			s.res.DriveFailures++
+			if e.kind == evDeath {
+				s.res.PredictedFailures++
+			}
+			s.state[g][d] = failed
+			s.erased[g]++
+			if s.erased[g] > s.cfg.Parity {
+				s.loseGroup(e.at, g)
+				continue
+			}
+			s.requestService(e.at, g, d, true)
+
+		case evService:
+			if s.stillWanted(serviceRequest{g, d, e.repair}) {
+				if e.repair {
+					s.erased[g]--
+				} else {
+					s.res.SavedByMigration++
+				}
+				s.replaceDrive(e.at, g, d)
+			}
+			s.finishService(e.at)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package storagesim
+
+import (
+	"math"
+	"testing"
+
+	"hddcart/internal/reliability"
+)
+
+// fastConfig is an accelerated system (short MTTF) so losses happen within
+// test budgets.
+func fastConfig() Config {
+	return Config{
+		Groups:         40,
+		DrivesPerGroup: 8,
+		Parity:         2,
+		MTTFHours:      400,
+		RepairHours:    24,
+		MigrateHours:   12,
+		HorizonHours:   40000,
+		Seed:           1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Groups = 0 },
+		func(c *Config) { c.Parity = 0 },
+		func(c *Config) { c.DrivesPerGroup = 2 },
+		func(c *Config) { c.MTTFHours = 0 },
+		func(c *Config) { c.RepairHours = -1 },
+		func(c *Config) { c.FDR = 1.5 },
+		func(c *Config) { c.FDR = 0.5; c.TIAMeanHours = 0 },
+		func(c *Config) { c.HorizonHours = 0 },
+	}
+	for i, m := range mut {
+		cfg := fastConfig()
+		m(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLossesMatchMarkovWithoutPrediction(t *testing.T) {
+	cfg := fastConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataLossEvents < 10 {
+		t.Fatalf("only %d losses; horizon too short for a statistical check", res.DataLossEvents)
+	}
+	chain, start, err := reliability.RAID6PredictionChain(cfg.DrivesPerGroup,
+		reliability.DriveParams{MTTFHours: cfg.MTTFHours, MTTRHours: cfg.RepairHours},
+		reliability.NoPrediction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := chain.MeanTimeToAbsorption(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.MTTDLHours / analytic
+	// The renewal estimate is biased slightly low (losses reset groups),
+	// but must agree within a modest factor.
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Errorf("DES MTTDL %.0f vs Markov %.0f (ratio %.2f)", res.MTTDLHours, analytic, ratio)
+	}
+}
+
+func TestPredictionImprovesReliability(t *testing.T) {
+	base := fastConfig()
+	baseRes, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := fastConfig()
+	pred.FDR = 0.95
+	pred.TIAMeanHours = 100
+	predRes, err := Run(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predRes.DataLossEvents*3 >= baseRes.DataLossEvents {
+		t.Errorf("prediction losses %d vs baseline %d; want ≥ 3× reduction",
+			predRes.DataLossEvents, baseRes.DataLossEvents)
+	}
+	if predRes.SavedByMigration == 0 {
+		t.Error("no drives saved by migration")
+	}
+	// Most failures should be intercepted: saved / (saved + failures).
+	caught := float64(predRes.SavedByMigration) /
+		float64(predRes.SavedByMigration+predRes.DriveFailures)
+	if caught < 0.6 {
+		t.Errorf("migration interception rate = %.2f, want ≥ 0.6", caught)
+	}
+}
+
+func TestTightCrewDegradesReliability(t *testing.T) {
+	ample := fastConfig()
+	ample.FDR = 0.9
+	ample.TIAMeanHours = 60
+	ample.FalseAlarmsPerDriveYear = 4
+	ampleRes, err := Run(ample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := ample
+	tight.Crew = 1
+	tightRes, err := Run(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tightRes.DataLossEvents <= ampleRes.DataLossEvents {
+		t.Errorf("crew=1 losses %d vs unlimited %d; contention should hurt",
+			tightRes.DataLossEvents, ampleRes.DataLossEvents)
+	}
+	if tightRes.MaxBacklog == 0 {
+		t.Error("crew=1 never queued work")
+	}
+	if ampleRes.MaxBacklog != 0 {
+		t.Error("unlimited crew should never queue")
+	}
+}
+
+func TestFalseAlarmsCounted(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MTTFHours = 1e9 // effectively no real failures
+	cfg.FalseAlarmsPerDriveYear = 2
+	cfg.FDR = 0.9
+	cfg.TIAMeanHours = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 320 drives × (40000/8760) years × 2/yr ≈ 2900 false alarms.
+	expected := float64(cfg.Groups*cfg.DrivesPerGroup) * cfg.HorizonHours / 8760 * 2
+	if math.Abs(float64(res.FalseAlarms)-expected) > expected*0.15 {
+		t.Errorf("false alarms = %d, want ≈ %.0f", res.FalseAlarms, expected)
+	}
+	if res.DataLossEvents != 0 || res.DriveFailures != 0 {
+		t.Errorf("spurious failures: %+v", res)
+	}
+	if !math.IsInf(res.MTTDLHours, 1) {
+		t.Error("no losses should give +Inf MTTDL")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FDR = 0.8
+	cfg.TIAMeanHours = 60
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestPredictedFailuresAreSubset(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FDR = 0.5
+	cfg.TIAMeanHours = 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedFailures > res.DriveFailures {
+		t.Errorf("predicted deaths %d exceed total deaths %d",
+			res.PredictedFailures, res.DriveFailures)
+	}
+	if res.CrewBusyHours <= 0 {
+		t.Error("crew never worked")
+	}
+}
+
+func TestRAID5LosesMoreThanRAID6(t *testing.T) {
+	r6 := fastConfig()
+	r6res, err := Run(r6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5 := fastConfig()
+	r5.Parity = 1
+	r5res, err := Run(r5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5res.DataLossEvents <= r6res.DataLossEvents {
+		t.Errorf("RAID-5 losses %d vs RAID-6 %d", r5res.DataLossEvents, r6res.DataLossEvents)
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hddcart/internal/smart"
+)
+
+// Backblaze's public drive-stats dataset is the de-facto standard SMART
+// corpus (daily snapshots, one row per drive per day with columns
+// smart_<id>_normalized / smart_<id>_raw). This importer converts it into
+// the library's trace format so models train on real data: rows are
+// grouped by serial, ordered by date, and day indices become trace hours
+// (daily sampling instead of the paper's hourly — change-rate intervals
+// should be scaled accordingly by the caller).
+
+// BackblazeOptions controls the import.
+type BackblazeOptions struct {
+	// ModelFilter, when non-empty, keeps only drives whose model column
+	// equals it (the paper separates families; Backblaze models map
+	// naturally onto them).
+	ModelFilter string
+	// HoursPerRow is the time step between consecutive rows of one drive
+	// (Backblaze snapshots are daily → 24). 0 means 24.
+	HoursPerRow int
+}
+
+// ReadBackblaze parses a Backblaze drive-stats CSV stream. Rows of one
+// drive need not be contiguous; the whole stream is materialized, grouped
+// by serial and sorted chronologically. A drive is marked failed when any
+// of its rows carries failure=1; its FailHour is one time step after its
+// last recorded row, matching the paper's "samples before actual failure"
+// convention.
+func ReadBackblaze(r io.Reader, opts BackblazeOptions) ([]DriveTrace, error) {
+	step := opts.HoursPerRow
+	if step == 0 {
+		step = 24
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // Backblaze adds columns over the years
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: backblaze header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[strings.TrimSpace(strings.ToLower(name))] = i
+	}
+	for _, required := range []string{"date", "serial_number", "model", "failure"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("trace: backblaze CSV missing column %q", required)
+		}
+	}
+	// Map catalogue attributes onto smart_<id>_normalized / _raw columns.
+	type attrCols struct {
+		idx       int // position in the Record arrays
+		norm, raw int // CSV columns (-1 = absent)
+	}
+	var attrs []attrCols
+	for i, a := range smart.Catalogue {
+		ac := attrCols{idx: i, norm: -1, raw: -1}
+		if c, ok := col[fmt.Sprintf("smart_%d_normalized", int(a.ID))]; ok {
+			ac.norm = c
+		}
+		if c, ok := col[fmt.Sprintf("smart_%d_raw", int(a.ID))]; ok {
+			ac.raw = c
+		}
+		if ac.norm != -1 || ac.raw != -1 {
+			attrs = append(attrs, ac)
+		}
+	}
+	if len(attrs) == 0 {
+		return nil, errors.New("trace: backblaze CSV has no catalogued smart_* columns")
+	}
+
+	type row struct {
+		date   string
+		rec    smart.Record
+		failed bool
+	}
+	byDrive := make(map[string]*struct {
+		model string
+		rows  []row
+	})
+	for {
+		fields, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: backblaze row: %w", err)
+		}
+		get := func(i int) string {
+			if i < 0 || i >= len(fields) {
+				return ""
+			}
+			return strings.TrimSpace(fields[i])
+		}
+		model := get(col["model"])
+		if opts.ModelFilter != "" && model != opts.ModelFilter {
+			continue
+		}
+		serial := get(col["serial_number"])
+		if serial == "" {
+			continue
+		}
+		var rw row
+		rw.date = get(col["date"])
+		rw.failed = get(col["failure"]) == "1"
+		for _, ac := range attrs {
+			if v, err := strconv.ParseFloat(get(ac.norm), 64); err == nil {
+				rw.rec.Normalized[ac.idx] = v
+			}
+			if v, err := strconv.ParseFloat(get(ac.raw), 64); err == nil {
+				rw.rec.Raw[ac.idx] = v
+			}
+		}
+		d := byDrive[serial]
+		if d == nil {
+			d = &struct {
+				model string
+				rows  []row
+			}{model: model}
+			byDrive[serial] = d
+		}
+		d.rows = append(d.rows, rw)
+	}
+
+	serials := make([]string, 0, len(byDrive))
+	for s := range byDrive {
+		serials = append(serials, s)
+	}
+	sort.Strings(serials)
+
+	out := make([]DriveTrace, 0, len(byDrive))
+	for _, serial := range serials {
+		d := byDrive[serial]
+		sort.SliceStable(d.rows, func(i, j int) bool { return d.rows[i].date < d.rows[j].date })
+		dt := DriveTrace{Meta: DriveMeta{
+			Serial: serial, Family: d.model, FailHour: -1,
+		}}
+		for i := range d.rows {
+			rec := d.rows[i].rec
+			rec.Hour = i * step
+			dt.Records = append(dt.Records, rec)
+			if d.rows[i].failed {
+				dt.Meta.Failed = true
+			}
+		}
+		if dt.Meta.Failed {
+			dt.Meta.FailHour = len(d.rows) * step
+		}
+		out = append(out, dt)
+	}
+	return out, nil
+}

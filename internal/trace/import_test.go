@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hddcart/internal/smart"
+)
+
+const backblazeSample = `date,serial_number,model,capacity_bytes,failure,smart_1_normalized,smart_1_raw,smart_5_normalized,smart_5_raw,smart_9_normalized,smart_9_raw,smart_194_normalized,smart_194_raw,smart_255_normalized,smart_255_raw
+2024-01-01,ZA001,ST4000DM000,4000787030016,0,118,170589480,100,0,92,7000,62,38,1,1
+2024-01-02,ZA001,ST4000DM000,4000787030016,0,117,171589480,100,0,92,7024,61,39,1,1
+2024-01-03,ZA001,ST4000DM000,4000787030016,1,80,991589480,95,24,92,7048,55,45,1,1
+2024-01-01,ZB002,WDC-WD60,6000000000000,0,200,0,100,0,80,17000,65,35,1,1
+2024-01-02,ZB002,WDC-WD60,6000000000000,0,200,0,100,0,80,17024,64,36,1,1
+`
+
+func TestReadBackblaze(t *testing.T) {
+	drives, err := ReadBackblaze(strings.NewReader(backblazeSample), BackblazeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drives) != 2 {
+		t.Fatalf("drives = %d, want 2", len(drives))
+	}
+	// Sorted by serial: ZA001 first.
+	za := drives[0]
+	if za.Meta.Serial != "ZA001" || za.Meta.Family != "ST4000DM000" {
+		t.Fatalf("meta = %+v", za.Meta)
+	}
+	if !za.Meta.Failed || za.Meta.FailHour != 3*24 {
+		t.Errorf("ZA001 failed/failHour = %v/%d, want true/72", za.Meta.Failed, za.Meta.FailHour)
+	}
+	if len(za.Records) != 3 {
+		t.Fatalf("ZA001 records = %d", len(za.Records))
+	}
+	if za.Records[1].Hour != 24 {
+		t.Errorf("second row hour = %d, want 24", za.Records[1].Hour)
+	}
+	if got := za.Records[0].NormalizedOf(smart.RawReadErrorRate); got != 118 {
+		t.Errorf("smart_1_normalized = %v, want 118", got)
+	}
+	if got := za.Records[2].RawOf(smart.ReallocatedSectors); got != 24 {
+		t.Errorf("smart_5_raw (day 3) = %v, want 24", got)
+	}
+	if got := za.Records[0].RawOf(smart.TemperatureCelsius); got != 38 {
+		t.Errorf("smart_194_raw = %v, want 38", got)
+	}
+
+	zb := drives[1]
+	if zb.Meta.Failed || zb.Meta.FailHour != -1 {
+		t.Errorf("ZB002 should be good: %+v", zb.Meta)
+	}
+}
+
+func TestReadBackblazeModelFilter(t *testing.T) {
+	drives, err := ReadBackblaze(strings.NewReader(backblazeSample),
+		BackblazeOptions{ModelFilter: "ST4000DM000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drives) != 1 || drives[0].Meta.Serial != "ZA001" {
+		t.Errorf("filter kept %d drives", len(drives))
+	}
+}
+
+func TestReadBackblazeUnsortedRows(t *testing.T) {
+	// Rows arrive date-shuffled; the importer must sort them.
+	shuffled := `date,serial_number,model,failure,smart_1_normalized,smart_1_raw
+2024-01-03,X,M,0,90,3
+2024-01-01,X,M,0,100,1
+2024-01-02,X,M,0,95,2
+`
+	drives, err := ReadBackblaze(strings.NewReader(shuffled), BackblazeOptions{HoursPerRow: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := drives[0].Records
+	if recs[0].RawOf(smart.RawReadErrorRate) != 1 || recs[2].RawOf(smart.RawReadErrorRate) != 3 {
+		t.Errorf("rows not chronologically sorted: %v %v",
+			recs[0].RawOf(smart.RawReadErrorRate), recs[2].RawOf(smart.RawReadErrorRate))
+	}
+}
+
+func TestReadBackblazeErrors(t *testing.T) {
+	if _, err := ReadBackblaze(strings.NewReader(""), BackblazeOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadBackblaze(strings.NewReader("a,b,c\n1,2,3\n"), BackblazeOptions{}); err == nil {
+		t.Error("missing required columns accepted")
+	}
+	noSmart := "date,serial_number,model,failure\n2024-01-01,X,M,0\n"
+	if _, err := ReadBackblaze(strings.NewReader(noSmart), BackblazeOptions{}); err == nil {
+		t.Error("CSV without smart_* columns accepted")
+	}
+}
+
+const smartctlSample = `smartctl 7.2 2020-12-30 r5155 [x86_64-linux-5.10.0] (local build)
+=== START OF READ SMART DATA SECTION ===
+SMART Attributes Data Structure revision number: 10
+Vendor Specific SMART Attributes with Thresholds:
+ID# ATTRIBUTE_NAME          FLAG     VALUE WORST THRESH TYPE      UPDATED  WHEN_FAILED RAW_VALUE
+  1 Raw_Read_Error_Rate     0x000f   118   099   006    Pre-fail  Always       -       170589480
+  3 Spin_Up_Time            0x0003   096   096   000    Pre-fail  Always       -       0
+  5 Reallocated_Sector_Ct   0x0033   100   100   010    Pre-fail  Always       -       24
+  9 Power_On_Hours          0x0032   092   092   000    Old_age   Always       -       7000
+194 Temperature_Celsius     0x0022   062   045   000    Old_age   Always       -       38 (Min/Max 22/45)
+240 Head_Flying_Hours       0x0000   100   253   000    Old_age   Offline      -       6805h+57m+22.310s
+
+SMART Error Log Version: 1
+No Errors Logged
+`
+
+func TestParseSmartctl(t *testing.T) {
+	rec, err := ParseSmartctl(strings.NewReader(smartctlSample), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Hour != 42 {
+		t.Errorf("hour = %d", rec.Hour)
+	}
+	if got := rec.NormalizedOf(smart.RawReadErrorRate); got != 118 {
+		t.Errorf("RRER norm = %v, want 118", got)
+	}
+	if got := rec.RawOf(smart.RawReadErrorRate); got != 170589480 {
+		t.Errorf("RRER raw = %v", got)
+	}
+	if got := rec.RawOf(smart.ReallocatedSectors); got != 24 {
+		t.Errorf("RSC raw = %v, want 24", got)
+	}
+	// Annotated raw value parses to the leading integer.
+	if got := rec.RawOf(smart.TemperatureCelsius); got != 38 {
+		t.Errorf("temp raw = %v, want 38", got)
+	}
+	if got := rec.NormalizedOf(smart.SpinUpTime); got != 96 {
+		t.Errorf("SUT norm = %v, want 96", got)
+	}
+}
+
+func TestParseSmartctlNoTable(t *testing.T) {
+	if _, err := ParseSmartctl(strings.NewReader("smartctl version\nno table here\n"), 0); err == nil {
+		t.Error("input without attribute table accepted")
+	}
+}

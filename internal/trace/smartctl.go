@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hddcart/internal/smart"
+)
+
+// ParseSmartctl extracts one SMART record from the output of
+// `smartctl -A` (the "Vendor Specific SMART Attributes with Thresholds"
+// table), the natural way to feed live drives into the Monitor. Lines
+// outside the attribute table are ignored; attributes not in the catalogue
+// are skipped. hour stamps the record.
+//
+// The table format is:
+//
+//	ID# ATTRIBUTE_NAME FLAG VALUE WORST THRESH TYPE UPDATED WHEN_FAILED RAW_VALUE
+func ParseSmartctl(r io.Reader, hour int) (smart.Record, error) {
+	var rec smart.Record
+	rec.Hour = hour
+	sc := bufio.NewScanner(r)
+	inTable := false
+	parsed := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "ID#") {
+			inTable = true
+			continue
+		}
+		if !inTable || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 10 {
+			inTable = false // table ended
+			continue
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			inTable = false
+			continue
+		}
+		idx, ok := smart.Index(smart.AttrID(id))
+		if !ok {
+			continue
+		}
+		norm, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return rec, fmt.Errorf("trace: smartctl attribute %d: bad value %q", id, fields[3])
+		}
+		// Raw values can carry annotations like "31 (Min/Max 22/45)" or
+		// "113246208" — take the leading integer.
+		rawField := fields[9]
+		if cut := strings.IndexAny(rawField, " (h"); cut > 0 {
+			rawField = rawField[:cut]
+		}
+		raw, err := strconv.ParseFloat(rawField, 64)
+		if err != nil {
+			return rec, fmt.Errorf("trace: smartctl attribute %d: bad raw %q", id, fields[9])
+		}
+		rec.Normalized[idx] = norm
+		rec.Raw[idx] = raw
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		return rec, fmt.Errorf("trace: smartctl scan: %w", err)
+	}
+	if parsed == 0 {
+		return rec, fmt.Errorf("trace: no SMART attribute table found")
+	}
+	return rec, nil
+}

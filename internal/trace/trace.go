@@ -1,0 +1,232 @@
+// Package trace serializes SMART drive traces as CSV, the interchange
+// format between cmd/gendata (dataset generation) and cmd/hddpred
+// (training/evaluation), and the natural import path for real SMART dumps.
+//
+// The format is one row per (drive, hour) sample:
+//
+//	serial,family,failed,fail_hour,hour,n<ID>...,r<ID>...
+//
+// with one n<ID> (normalized) and one r<ID> (raw) column per catalogued
+// SMART attribute. Rows of one drive must be contiguous and chronological,
+// which lets the reader stream drive by drive without loading the file.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hddcart/internal/smart"
+)
+
+// DriveMeta identifies a drive within a trace file.
+type DriveMeta struct {
+	// Serial is the drive's unique identifier.
+	Serial string
+	// Family is the drive family/model label.
+	Family string
+	// Failed reports whether the drive fails.
+	Failed bool
+	// FailHour is the failure instant (−1 for good drives).
+	FailHour int
+}
+
+// DriveTrace is one drive's metadata plus its chronological records.
+type DriveTrace struct {
+	Meta    DriveMeta
+	Records []smart.Record
+}
+
+// Header returns the CSV header row.
+func Header() []string {
+	h := []string{"serial", "family", "failed", "fail_hour", "hour"}
+	for _, a := range smart.Catalogue {
+		h = append(h, fmt.Sprintf("n%d", int(a.ID)))
+	}
+	for _, a := range smart.Catalogue {
+		h = append(h, fmt.Sprintf("r%d", int(a.ID)))
+	}
+	return h
+}
+
+// Writer streams drive traces to CSV.
+type Writer struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w)}
+}
+
+// WriteDrive appends one drive's records.
+func (w *Writer) WriteDrive(meta DriveMeta, recs []smart.Record) error {
+	if !w.wroteHeader {
+		if err := w.cw.Write(Header()); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		w.wroteHeader = true
+	}
+	failHour := meta.FailHour
+	if !meta.Failed {
+		failHour = -1
+	}
+	row := make([]string, 0, 5+2*smart.NumAttrs)
+	for i := range recs {
+		rec := &recs[i]
+		row = row[:0]
+		row = append(row,
+			meta.Serial,
+			meta.Family,
+			strconv.FormatBool(meta.Failed),
+			strconv.Itoa(failHour),
+			strconv.Itoa(rec.Hour),
+		)
+		for _, v := range rec.Normalized {
+			row = append(row, formatValue(v))
+		}
+		for _, v := range rec.Raw {
+			row = append(row, formatValue(v))
+		}
+		if err := w.cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+// formatValue renders a float compactly (integers without decimals).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Reader streams drive traces from CSV. Rows of one drive must be
+// contiguous.
+type Reader struct {
+	cr      *csv.Reader
+	pending []string // first row of the next drive
+	eof     bool
+}
+
+// NewReader returns a Reader consuming r. It validates the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header())
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	want := Header()
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	return &Reader{cr: cr}, nil
+}
+
+// Next returns the next drive's trace; io.EOF when the file is exhausted.
+func (r *Reader) Next() (DriveTrace, error) {
+	var dt DriveTrace
+	row := r.pending
+	r.pending = nil
+	if row == nil {
+		if r.eof {
+			return dt, io.EOF
+		}
+		var err error
+		row, err = r.cr.Read()
+		if errors.Is(err, io.EOF) {
+			return dt, io.EOF
+		}
+		if err != nil {
+			return dt, fmt.Errorf("trace: read row: %w", err)
+		}
+	}
+	meta, rec, err := parseRow(row)
+	if err != nil {
+		return dt, err
+	}
+	dt.Meta = meta
+	dt.Records = append(dt.Records, rec)
+	for {
+		row, err := r.cr.Read()
+		if errors.Is(err, io.EOF) {
+			r.eof = true
+			return dt, nil
+		}
+		if err != nil {
+			return dt, fmt.Errorf("trace: read row: %w", err)
+		}
+		if row[0] != dt.Meta.Serial {
+			r.pending = row
+			return dt, nil
+		}
+		_, rec, err := parseRow(row)
+		if err != nil {
+			return dt, err
+		}
+		if n := len(dt.Records); n > 0 && rec.Hour <= dt.Records[n-1].Hour {
+			return dt, fmt.Errorf("trace: drive %s rows not chronological at hour %d", dt.Meta.Serial, rec.Hour)
+		}
+		dt.Records = append(dt.Records, rec)
+	}
+}
+
+// ReadAll consumes every drive in the stream.
+func (r *Reader) ReadAll() ([]DriveTrace, error) {
+	var out []DriveTrace
+	for {
+		dt, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dt)
+	}
+}
+
+func parseRow(row []string) (DriveMeta, smart.Record, error) {
+	var meta DriveMeta
+	var rec smart.Record
+	meta.Serial = row[0]
+	meta.Family = row[1]
+	failed, err := strconv.ParseBool(row[2])
+	if err != nil {
+		return meta, rec, fmt.Errorf("trace: bad failed flag %q: %w", row[2], err)
+	}
+	meta.Failed = failed
+	meta.FailHour, err = strconv.Atoi(row[3])
+	if err != nil {
+		return meta, rec, fmt.Errorf("trace: bad fail_hour %q: %w", row[3], err)
+	}
+	rec.Hour, err = strconv.Atoi(row[4])
+	if err != nil {
+		return meta, rec, fmt.Errorf("trace: bad hour %q: %w", row[4], err)
+	}
+	for i := 0; i < smart.NumAttrs; i++ {
+		rec.Normalized[i], err = strconv.ParseFloat(row[5+i], 64)
+		if err != nil {
+			return meta, rec, fmt.Errorf("trace: bad normalized value %q: %w", row[5+i], err)
+		}
+		rec.Raw[i], err = strconv.ParseFloat(row[5+smart.NumAttrs+i], 64)
+		if err != nil {
+			return meta, rec, fmt.Errorf("trace: bad raw value %q: %w", row[5+smart.NumAttrs+i], err)
+		}
+	}
+	return meta, rec, nil
+}

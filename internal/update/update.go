@@ -1,0 +1,123 @@
+// Package update implements the paper's model-updating strategies
+// (§V-B3): fixed ("train once, use forever"), accumulation (retrain weekly
+// on all history) and replacing (retrain on the most recent c-week block
+// and use the model for the next c weeks). The package decides which weeks
+// of good samples train the model applied to any given prediction week;
+// the experiments layer does the actual training.
+package update
+
+import (
+	"fmt"
+)
+
+// Strategy enumerates the updating strategies.
+type Strategy int
+
+const (
+	// Fixed trains once on week 1 and never updates.
+	Fixed Strategy = iota + 1
+	// Accumulation retrains every week on all weeks seen so far.
+	Accumulation
+	// Replacing retrains on the latest complete c-week block and applies
+	// the model to the following c weeks.
+	Replacing
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Fixed:
+		return "fixed"
+	case Accumulation:
+		return "accumulation"
+	case Replacing:
+		return "replacing"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Plan is a concrete updating plan.
+type Plan struct {
+	// Strategy selects the scheme.
+	Strategy Strategy
+	// CycleWeeks is the replacing cycle length c (paper tries 1, 2, 3);
+	// ignored by the other strategies.
+	CycleWeeks int
+}
+
+// String renders the plan like the paper's figure legends.
+func (p Plan) String() string {
+	if p.Strategy == Replacing {
+		unit := "weeks"
+		if p.CycleWeeks == 1 {
+			unit = "week"
+		}
+		return fmt.Sprintf("%d-%s replacing", p.CycleWeeks, unit)
+	}
+	return p.Strategy.String()
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	switch p.Strategy {
+	case Fixed, Accumulation:
+		return nil
+	case Replacing:
+		if p.CycleWeeks < 1 {
+			return fmt.Errorf("update: replacing needs a cycle ≥ 1 week, got %d", p.CycleWeeks)
+		}
+		return nil
+	default:
+		return fmt.Errorf("update: unknown strategy %d", int(p.Strategy))
+	}
+}
+
+// TrainWeeks returns the 1-based inclusive week range [start, end] whose
+// good samples train the model applied to prediction week w (w ≥ 2), and
+// whether that differs from the range for week w−1 (i.e. whether a retrain
+// happens at the start of week w).
+//
+//   - Fixed: always week 1.
+//   - Accumulation: weeks 1..w−1, retraining every week.
+//   - Replacing with cycle c: the latest complete c-week block, i.e. weeks
+//     (i−1)c+1 .. ic with i = ⌊(w−1)/c⌋; for early weeks without a complete
+//     block it falls back to week 1.
+func (p Plan) TrainWeeks(w int) (start, end int, retrain bool, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, false, err
+	}
+	if w < 2 {
+		return 0, 0, false, fmt.Errorf("update: prediction starts at week 2, got %d", w)
+	}
+	switch p.Strategy {
+	case Fixed:
+		return 1, 1, w == 2, nil
+	case Accumulation:
+		return 1, w - 1, true, nil
+	default: // Replacing
+		c := p.CycleWeeks
+		i := (w - 1) / c
+		if i < 1 {
+			return 1, 1, w == 2, nil
+		}
+		start = (i-1)*c + 1
+		end = i * c
+		// A retrain happens when this week starts a new prediction
+		// block (or is the very first prediction week).
+		prevI := (w - 2) / c
+		return start, end, w == 2 || i != prevI, nil
+	}
+}
+
+// Plans returns the five plans evaluated in the paper's Figures 6–9:
+// 1-, 2- and 3-week replacing, fixed, and accumulation.
+func Plans() []Plan {
+	return []Plan{
+		{Strategy: Replacing, CycleWeeks: 1},
+		{Strategy: Replacing, CycleWeeks: 2},
+		{Strategy: Replacing, CycleWeeks: 3},
+		{Strategy: Fixed},
+		{Strategy: Accumulation},
+	}
+}

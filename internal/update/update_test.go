@@ -1,0 +1,139 @@
+package update
+
+import "testing"
+
+func TestFixed(t *testing.T) {
+	p := Plan{Strategy: Fixed}
+	for w := 2; w <= 8; w++ {
+		start, end, retrain, err := p.TrainWeeks(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != 1 || end != 1 {
+			t.Errorf("week %d: train weeks [%d,%d], want [1,1]", w, start, end)
+		}
+		if retrain != (w == 2) {
+			t.Errorf("week %d: retrain = %v", w, retrain)
+		}
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	p := Plan{Strategy: Accumulation}
+	for w := 2; w <= 8; w++ {
+		start, end, retrain, err := p.TrainWeeks(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != 1 || end != w-1 || !retrain {
+			t.Errorf("week %d: [%d,%d] retrain=%v, want [1,%d] true", w, start, end, retrain, w-1)
+		}
+	}
+}
+
+func TestReplacingOneWeek(t *testing.T) {
+	p := Plan{Strategy: Replacing, CycleWeeks: 1}
+	for w := 2; w <= 8; w++ {
+		start, end, retrain, err := p.TrainWeeks(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != w-1 || end != w-1 || !retrain {
+			t.Errorf("week %d: [%d,%d] retrain=%v, want [%d,%d] true", w, start, end, retrain, w-1, w-1)
+		}
+	}
+}
+
+func TestReplacingTwoWeeks(t *testing.T) {
+	p := Plan{Strategy: Replacing, CycleWeeks: 2}
+	// Paper semantics: block i = weeks (i−1)c+1..ic predicts weeks
+	// ic+1..(i+1)c.
+	cases := []struct {
+		week       int
+		start, end int
+		retrain    bool
+	}{
+		{2, 1, 1, true}, // no complete block yet → fall back to week 1
+		{3, 1, 2, true}, // block 1 (weeks 1-2) predicts weeks 3-4
+		{4, 1, 2, false},
+		{5, 3, 4, true}, // block 2 predicts weeks 5-6
+		{6, 3, 4, false},
+		{7, 5, 6, true},
+		{8, 5, 6, false},
+	}
+	for _, tc := range cases {
+		start, end, retrain, err := p.TrainWeeks(tc.week)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if start != tc.start || end != tc.end || retrain != tc.retrain {
+			t.Errorf("week %d: [%d,%d] retrain=%v, want [%d,%d] %v",
+				tc.week, start, end, retrain, tc.start, tc.end, tc.retrain)
+		}
+	}
+}
+
+func TestReplacingThreeWeeks(t *testing.T) {
+	p := Plan{Strategy: Replacing, CycleWeeks: 3}
+	start, end, _, err := p.TrainWeeks(7) // block 2 = weeks 4-6 predicts 7-9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 4 || end != 6 {
+		t.Errorf("week 7: [%d,%d], want [4,6]", start, end)
+	}
+	start, end, _, err = p.TrainWeeks(4) // block 1 = weeks 1-3 predicts 4-6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 1 || end != 3 {
+		t.Errorf("week 4: [%d,%d], want [1,3]", start, end)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Plan{Strategy: Replacing}).Validate(); err == nil {
+		t.Error("replacing without cycle should fail")
+	}
+	if err := (Plan{Strategy: Strategy(9)}).Validate(); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if _, _, _, err := (Plan{Strategy: Fixed}).TrainWeeks(1); err == nil {
+		t.Error("week 1 prediction should fail")
+	}
+	if _, _, _, err := (Plan{Strategy: Strategy(9)}).TrainWeeks(3); err == nil {
+		t.Error("invalid plan should fail TrainWeeks")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		p    Plan
+		want string
+	}{
+		{Plan{Strategy: Fixed}, "fixed"},
+		{Plan{Strategy: Accumulation}, "accumulation"},
+		{Plan{Strategy: Replacing, CycleWeeks: 1}, "1-week replacing"},
+		{Plan{Strategy: Replacing, CycleWeeks: 3}, "3-weeks replacing"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy string")
+	}
+}
+
+func TestPlans(t *testing.T) {
+	plans := Plans()
+	if len(plans) != 5 {
+		t.Fatalf("Plans = %d entries, want 5 (paper Figs. 6-9)", len(plans))
+	}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %v invalid: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package hddcart
+
+import (
+	"errors"
+	"fmt"
+
+	"hddcart/internal/health"
+	"hddcart/internal/smart"
+)
+
+// MonitorConfig configures an online Monitor.
+type MonitorConfig struct {
+	// Features is the model input layout.
+	Features FeatureSet
+	// Model scores samples (a trained Tree or Network).
+	Model Predictor
+	// Voters is the detection window N. For binary models a drive alarms
+	// when more than N/2 of its last N samples score below Threshold;
+	// for health-degree models (UseMean) when the window mean does.
+	Voters int
+	// Threshold is the alarm cut (0 for ±1 classifiers, a health degree
+	// such as −0.3 for regression models).
+	Threshold float64
+	// UseMean selects mean-threshold (health-degree) detection instead
+	// of voting.
+	UseMean bool
+	// HistoryHours bounds how much per-drive history is retained for
+	// change-rate lookback; 0 means the feature set's requirement + 2 h.
+	HistoryHours int
+}
+
+// Monitor watches a drive population online. Feed every new SMART record
+// through Observe; the monitor extracts features (including change rates
+// against the drive's retained history), scores them, applies the
+// configured detection rule and maintains a warning queue ordered by
+// health degree so operators handle the most critical drives first
+// (paper §III-B).
+//
+// Monitor is not safe for concurrent use; wrap it with a mutex if needed.
+type Monitor struct {
+	cfg     MonitorConfig
+	drives  map[string]*monitoredDrive
+	queue   health.Queue
+	warned  map[string]bool
+	serials map[int]string // queue ID → serial
+}
+
+// MonitorWarning is an outstanding warning with its drive serial.
+type MonitorWarning struct {
+	// Serial identifies the drive.
+	Serial string
+	// Health is the predicted health degree (lower = more urgent).
+	Health float64
+	// Hour is when the warning was raised.
+	Hour int
+}
+
+// monitoredDrive is the per-drive sliding state.
+type monitoredDrive struct {
+	history []smart.Record // bounded chronological history
+	scores  []float64      // last N scores
+	votes   int            // failed votes within the window
+}
+
+// NewMonitor validates the configuration and returns an empty monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if len(cfg.Features) == 0 {
+		return nil, errors.New("hddcart: monitor needs a feature set")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("hddcart: monitor needs a model")
+	}
+	if cfg.Voters < 1 {
+		cfg.Voters = 1
+	}
+	if cfg.HistoryHours == 0 {
+		cfg.HistoryHours = cfg.Features.MaxInterval() + 2
+	}
+	if cfg.HistoryHours < cfg.Features.MaxInterval() {
+		return nil, fmt.Errorf("hddcart: history %d h shorter than change-rate lookback %d h",
+			cfg.HistoryHours, cfg.Features.MaxInterval())
+	}
+	return &Monitor{
+		cfg:     cfg,
+		drives:  make(map[string]*monitoredDrive),
+		warned:  make(map[string]bool),
+		serials: make(map[int]string),
+	}, nil
+}
+
+// Observe ingests one SMART record for a drive and returns the new warning
+// if this observation tripped the detection rule (at most one outstanding
+// warning per drive; later observations update its health in the queue).
+func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
+	d := m.drives[driveID]
+	if d == nil {
+		d = &monitoredDrive{}
+		m.drives[driveID] = d
+	}
+	// Drop out-of-order records; SMART collectors poll monotonically.
+	if n := len(d.history); n > 0 && rec.Hour <= d.history[n-1].Hour {
+		return MonitorWarning{}, false
+	}
+	d.history = append(d.history, rec)
+	// Trim history older than the lookback horizon.
+	cutoff := rec.Hour - m.cfg.HistoryHours
+	trim := 0
+	for trim < len(d.history)-1 && d.history[trim].Hour < cutoff {
+		trim++
+	}
+	d.history = d.history[trim:]
+
+	x := make([]float64, len(m.cfg.Features))
+	if !m.cfg.Features.Extract(d.history, len(d.history)-1, x) {
+		return MonitorWarning{}, false // not enough history for change rates yet
+	}
+	score := m.cfg.Model.Predict(x)
+
+	d.scores = append(d.scores, score)
+	if score < m.cfg.Threshold {
+		d.votes++
+	}
+	if len(d.scores) > m.cfg.Voters {
+		if d.scores[len(d.scores)-m.cfg.Voters-1] < m.cfg.Threshold {
+			d.votes--
+		}
+		d.scores = d.scores[len(d.scores)-m.cfg.Voters:]
+	}
+	if len(d.scores) < m.cfg.Voters {
+		return MonitorWarning{}, false
+	}
+
+	mean := 0.0
+	for _, s := range d.scores {
+		mean += s
+	}
+	mean /= float64(len(d.scores))
+
+	tripped := false
+	if m.cfg.UseMean {
+		tripped = mean < m.cfg.Threshold
+	} else {
+		tripped = 2*d.votes > m.cfg.Voters
+	}
+	if !tripped {
+		return MonitorWarning{}, false
+	}
+	id := stableID(driveID)
+	if m.warned[driveID] {
+		m.queue.Update(id, mean)
+		return MonitorWarning{}, false
+	}
+	m.warned[driveID] = true
+	m.serials[id] = driveID
+	m.queue.Push(Warning{Drive: id, Health: mean, Hour: rec.Hour})
+	return MonitorWarning{Serial: driveID, Health: mean, Hour: rec.Hour}, true
+}
+
+// NextWarning pops the most urgent outstanding warning (lowest health).
+func (m *Monitor) NextWarning() (MonitorWarning, bool) {
+	w, ok := m.queue.Pop()
+	if !ok {
+		return MonitorWarning{}, false
+	}
+	return MonitorWarning{Serial: m.serials[w.Drive], Health: w.Health, Hour: w.Hour}, true
+}
+
+// Outstanding returns the number of unprocessed warnings.
+func (m *Monitor) Outstanding() int { return m.queue.Len() }
+
+// Resolve clears a drive's warning state (after replacement/migration) so
+// future observations can warn again.
+func (m *Monitor) Resolve(driveID string) {
+	delete(m.warned, driveID)
+	delete(m.drives, driveID)
+}
+
+// stableID hashes a drive serial into the integer ID space the warning
+// queue uses.
+func stableID(serial string) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(serial); i++ {
+		h ^= uint64(serial[i])
+		h *= 1099511628211
+	}
+	return int(h & 0x7fffffff)
+}

@@ -1,0 +1,172 @@
+package hddcart
+
+import (
+	"testing"
+
+	"hddcart/internal/smart"
+)
+
+// constModel returns the first feature as the score.
+type firstFeatureModel struct{}
+
+func (firstFeatureModel) Predict(x []float64) float64 { return x[0] }
+
+// monitorFeatures is a single-attribute feature set.
+var monitorFeatures = FeatureSet{{Attr: smart.RawReadErrorRate, Kind: smart.Normalized}}
+
+func recAt(hour int, v float64) Record {
+	var r Record
+	r.Hour = hour
+	i, _ := smart.Index(smart.RawReadErrorRate)
+	r.Normalized[i] = v
+	return r
+}
+
+func newTestMonitor(t *testing.T, voters int, useMean bool) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures,
+		Model:    firstFeatureModel{},
+		Voters:   voters,
+		UseMean:  useMean,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{Model: firstFeatureModel{}}); err == nil {
+		t.Error("missing features accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{Features: monitorFeatures}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		Features: CriticalFeatures(), Model: firstFeatureModel{}, HistoryHours: 2,
+	}); err == nil {
+		t.Error("history shorter than lookback accepted")
+	}
+}
+
+func TestMonitorVotingWarns(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	// Healthy, then persistent degradation: warn once 2 of last 3 are
+	// negative.
+	inputs := []float64{1, 1, 1, -1, -1, -1}
+	var warnHour = -1
+	for h, v := range inputs {
+		if w, ok := m.Observe("d1", recAt(h, v)); ok {
+			warnHour = w.Hour
+		}
+	}
+	if warnHour != 4 {
+		t.Errorf("warned at hour %d, want 4", warnHour)
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	}
+	// No duplicate warning for the same drive.
+	if _, ok := m.Observe("d1", recAt(10, -1)); ok {
+		t.Error("duplicate warning raised")
+	}
+}
+
+func TestMonitorSuppressesBlips(t *testing.T) {
+	m := newTestMonitor(t, 5, false)
+	inputs := []float64{1, 1, -1, 1, 1, 1, 1, 1}
+	for h, v := range inputs {
+		if _, ok := m.Observe("d1", recAt(h, v)); ok {
+			t.Fatalf("warned on a transient blip at hour %d", h)
+		}
+	}
+}
+
+func TestMonitorMeanMode(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{},
+		Voters: 2, Threshold: -0.25, UseMean: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Means over windows of 2: (0.9,-0.2)/2=0.35, (-0.2,-0.4)/2=-0.3 < -0.25.
+	if _, ok := m.Observe("d", recAt(0, 0.9)); ok {
+		t.Error("warned too early")
+	}
+	if _, ok := m.Observe("d", recAt(1, -0.2)); ok {
+		t.Error("warned above threshold")
+	}
+	w, ok := m.Observe("d", recAt(2, -0.4))
+	if !ok || w.Hour != 2 {
+		t.Errorf("mean-mode warning = %+v, %v", w, ok)
+	}
+}
+
+func TestMonitorQueueOrderAndSerials(t *testing.T) {
+	m := newTestMonitor(t, 1, false)
+	m.Observe("mild", recAt(0, -0.1))
+	m.Observe("bad", recAt(0, -0.9))
+	w1, ok := m.NextWarning()
+	if !ok || w1.Serial != "bad" {
+		t.Errorf("first warning = %+v, want drive 'bad'", w1)
+	}
+	w2, _ := m.NextWarning()
+	if w2.Serial != "mild" {
+		t.Errorf("second warning = %+v", w2)
+	}
+	if _, ok := m.NextWarning(); ok {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestMonitorDropsOutOfOrderRecords(t *testing.T) {
+	m := newTestMonitor(t, 1, false)
+	m.Observe("d", recAt(5, 1))
+	if _, ok := m.Observe("d", recAt(4, -1)); ok {
+		t.Error("out-of-order record triggered a warning")
+	}
+	if m.Outstanding() != 0 {
+		t.Error("out-of-order record was processed")
+	}
+}
+
+func TestMonitorResolve(t *testing.T) {
+	m := newTestMonitor(t, 1, false)
+	m.Observe("d", recAt(0, -1))
+	if m.Outstanding() != 1 {
+		t.Fatal("no warning raised")
+	}
+	m.NextWarning()
+	m.Resolve("d")
+	// After replacement the (new) drive can warn again.
+	if _, ok := m.Observe("d", recAt(100, -1)); !ok {
+		t.Error("resolved drive cannot warn again")
+	}
+}
+
+func TestMonitorChangeRateLookback(t *testing.T) {
+	// With a change-rate feature the monitor needs history before it can
+	// score at all.
+	features := FeatureSet{{Attr: smart.RawReadErrorRate, Kind: smart.ChangeRate, IntervalHours: 6}}
+	m, err := NewMonitor(MonitorConfig{
+		Features: features, Model: firstFeatureModel{}, Voters: 1, Threshold: -2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declining value: rate −1/h → Δ6h = −6 < −2 once lookback exists.
+	warned := false
+	for h := 0; h < 10; h++ {
+		if _, ok := m.Observe("d", recAt(h, float64(100-h))); ok {
+			if h < 6 {
+				t.Errorf("warned at hour %d before lookback possible", h)
+			}
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("never warned despite steady decline")
+	}
+}
