@@ -137,7 +137,9 @@ func TestStart(trace []Record, start, end int, frac float64) (from, to int, ok b
 // TrainClassificationTree trains the paper's CT model on a finalized
 // dataset. Zero-valued params take the paper's defaults (Minsplit 20,
 // Minbucket 7, CP 0.001); set LossFA to 10 for the paper's false-alarm
-// suppression.
+// suppression. Training runs on params.Workers goroutines (0 = all
+// cores) and is deterministic: the grown tree is bit-identical for any
+// worker count, so parallelism never changes the model.
 func TrainClassificationTree(ds *Dataset, params TreeParams) (*Tree, error) {
 	x, y, w := ds.XMatrix()
 	tree, err := cart.TrainClassifier(x, y, w, params)
@@ -149,7 +151,9 @@ func TrainClassificationTree(ds *Dataset, params TreeParams) (*Tree, error) {
 }
 
 // TrainRegressionTree trains the paper's RT health-degree model: set the
-// dataset's targets with Dataset.SetHealthTargets first.
+// dataset's targets with Dataset.SetHealthTargets first. Like the CT
+// model it trains in parallel on params.Workers goroutines with a
+// bit-identical result for any worker count.
 func TrainRegressionTree(ds *Dataset, params TreeParams) (*Tree, error) {
 	x, y, w := ds.XMatrix()
 	tree, err := cart.TrainRegressor(x, y, w, params)

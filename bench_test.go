@@ -10,7 +10,9 @@ package hddcart
 // One experiment:  go test -bench=BenchmarkTable3 -benchmem
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"hddcart/internal/cart"
@@ -18,6 +20,7 @@ import (
 	"hddcart/internal/detect"
 	"hddcart/internal/eval"
 	"hddcart/internal/experiments"
+	"hddcart/internal/forest"
 	"hddcart/internal/reliability"
 	"hddcart/internal/simulate"
 	"hddcart/internal/smart"
@@ -221,6 +224,49 @@ func BenchmarkTreeTraining(b *testing.B) {
 		if _, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrainClassifierWorkers measures parallel CT training across
+// worker-pool sizes on the standard benchmark dataset. The trained tree is
+// provably identical at every size, so the series isolates pure speedup.
+func BenchmarkTrainClassifierWorkers(b *testing.B) {
+	a := newAblationEnv(b, smart.CriticalFeatures(), 0.2)
+	x, y, w := a.ds.XMatrix()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestTrainingWorkers measures random-forest training across
+// worker counts (tree-level parallelism; each tree grows serially).
+func BenchmarkForestTrainingWorkers(b *testing.B) {
+	a := newAblationEnv(b, smart.CriticalFeatures(), 0.2)
+	x, y, w := a.ds.XMatrix()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.TrainClassifier(x, y, w, forest.Config{
+					Trees: 16, Seed: 1, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

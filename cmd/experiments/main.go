@@ -33,6 +33,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.2, "good-drive population scale (1 = paper's dataset)")
 	failedScale := fs.Float64("failed-scale", 0.5, "failed-drive population scale")
 	seed := fs.Int64("seed", 1, "fleet seed")
+	workers := fs.Int("workers", 0, "worker-pool size for training and evaluation (0 = all cores); results are identical for any value")
 	annEpochs := fs.Int("ann-epochs", 150, "BP ANN training epoch budget")
 	runList := fs.String("run", "", "comma-separated experiment ids (default: all); known: "+
 		strings.Join(experiments.IDs(), ","))
@@ -55,6 +56,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		GoodScale:   *scale,
 		FailedScale: *failedScale,
+		Workers:     *workers,
 		ANNEpochs:   *annEpochs,
 	}
 	fmt.Printf("# hddcart experiment suite: seed %d, good ×%g, failed ×%g\n\n",

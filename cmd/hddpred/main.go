@@ -189,6 +189,7 @@ func cmdTrain(args []string) error {
 	window := fs.Int("window", 168, "failed time window (hours)")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	epochs := fs.Int("ann-epochs", 400, "ANN epochs")
+	workers := fs.Int("workers", 0, "tree-training worker-pool size (0 = all cores); the trained model is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -241,7 +242,7 @@ func cmdTrain(args []string) error {
 	switch *kind {
 	case "ct":
 		x, y, w := ds.XMatrix()
-		tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10})
+		tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -254,7 +255,7 @@ func cmdTrain(args []string) error {
 			return err
 		}
 		x, y, w := ds.XMatrix()
-		tree, err := cart.TrainRegressor(x, y, w, cart.Params{})
+		tree, err := cart.TrainRegressor(x, y, w, cart.Params{Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"hddcart/internal/cart"
 )
@@ -23,6 +25,14 @@ type Config struct {
 	MaxDepth int
 	// Params are the remaining CART parameters for the weak learners.
 	Params cart.Params
+	// Workers bounds the per-round parallelism: each round's tree grows
+	// on a cart worker pool of this size and the round's training-set
+	// scoring fans out across it. Rounds themselves are inherently
+	// sequential (each reweights from the last). 0 = runtime.NumCPU().
+	// The ensemble is bit-identical for any worker count: per-sample
+	// predictions parallelize but the weighted-error and reweighting
+	// sums always accumulate in sample order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -31,6 +41,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth == 0 {
 		c.MaxDepth = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
 	}
 	return c
 }
@@ -60,6 +73,7 @@ func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
 	params := cfg.Params
 	params.MaxDepth = cfg.MaxDepth
+	params.Workers = cfg.Workers
 
 	n := len(x)
 	dist := make([]float64, n)
@@ -80,15 +94,25 @@ func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
 	}
 
 	e := &Ensemble{}
+	mis := make([]bool, n)
 	for round := 0; round < cfg.Rounds; round++ {
 		tree, err := cart.TrainClassifier(x, y, dist, params)
 		if err != nil {
 			return nil, fmt.Errorf("boost: round %d: %w", round, err)
 		}
-		// Weighted error of this learner.
+		// Score the round's learner over the whole training set on the
+		// worker pool; the per-sample mispredict flags are independent,
+		// so chunking cannot change them.
+		parallelChunks(n, cfg.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mis[i] = tree.Predict(x[i]) != y[i]
+			}
+		})
+		// Weighted error of this learner, summed serially in sample
+		// order so eps is identical for every worker count.
 		eps := 0.0
 		for i := 0; i < n; i++ {
-			if tree.Predict(x[i]) != y[i] {
+			if mis[i] {
 				eps += dist[i]
 			}
 		}
@@ -111,13 +135,16 @@ func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
 		e.Trees = append(e.Trees, tree)
 		e.Alphas = append(e.Alphas, alpha)
 
-		// Reweight: mistakes up, hits down; renormalize.
+		// Reweight: mistakes up, hits down; renormalize. Reuses the
+		// mispredict flags instead of predicting every sample a second
+		// time.
+		up, down := math.Exp(alpha), math.Exp(-alpha)
 		sum := 0.0
 		for i := 0; i < n; i++ {
-			if tree.Predict(x[i]) != y[i] {
-				dist[i] *= math.Exp(alpha)
+			if mis[i] {
+				dist[i] *= up
 			} else {
-				dist[i] *= math.Exp(-alpha)
+				dist[i] *= down
 			}
 			sum += dist[i]
 		}
@@ -129,6 +156,36 @@ func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
 		return nil, errors.New("boost: no learners trained")
 	}
 	return e, nil
+}
+
+// parallelChunks runs fn over contiguous [lo, hi) ranges covering [0, n)
+// on up to workers goroutines. fn must confine writes to its own range;
+// results are then independent of the chunking and worker count. Small
+// inputs run inline — goroutine overhead would dominate.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	const minChunk = 1024
+	if workers <= 1 || n < 2*minChunk {
+		fn(0, n)
+		return
+	}
+	chunks := (n + minChunk - 1) / minChunk
+	if chunks > workers {
+		chunks = workers
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Predict returns the weighted vote balance in [−1, +1] (negative =

@@ -1,0 +1,64 @@
+package boost
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestParallelDeterminismBoost proves the AdaBoost ensemble — every weak
+// learner and every alpha — is identical for any worker count: per-round
+// scoring parallelizes but the weighted-error and reweighting sums always
+// accumulate in sample order.
+func TestParallelDeterminismBoost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := []float64{
+			math.Floor(rng.Float64()*32) / 32,
+			math.Floor(rng.Float64()*32) / 32,
+			math.Floor(rng.Float64()*32) / 32,
+		}
+		x[i] = row
+		y[i] = 1
+		if row[0]-row[1]+0.5*row[2] > 0.4 {
+			y[i] = -1
+		}
+		if rng.Float64() < 0.1 {
+			y[i] = -y[i]
+		}
+	}
+	var refTrees []byte
+	var refAlphas []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		e, err := Train(x, y, nil, Config{Rounds: 8, MaxDepth: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		enc, err := json.Marshal(e.Trees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			refTrees, refAlphas = enc, e.Alphas
+			if e.Rounds() < 2 {
+				t.Fatalf("reference ensemble trained only %d rounds", e.Rounds())
+			}
+			continue
+		}
+		if string(enc) != string(refTrees) {
+			t.Errorf("workers=%d learners differ from serial result", workers)
+		}
+		if len(e.Alphas) != len(refAlphas) {
+			t.Fatalf("workers=%d trained %d rounds, serial %d", workers, len(e.Alphas), len(refAlphas))
+		}
+		for i := range e.Alphas {
+			if e.Alphas[i] != refAlphas[i] {
+				t.Errorf("workers=%d alpha[%d] = %v, serial %v", workers, i, e.Alphas[i], refAlphas[i])
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package cart
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 )
 
@@ -66,6 +67,15 @@ type Params struct {
 	MTry int
 	// Seed drives the MTry feature sampling; unused when MTry is 0.
 	Seed int64
+	// Workers bounds training parallelism: split searches fan out across
+	// features and independent subtrees grow concurrently on a pool of
+	// this many goroutines. 0 defaults to runtime.NumCPU(); 1 runs the
+	// serial path. Training is deterministic: for any worker count the
+	// grown tree (splits, thresholds, leaf values, prune sequence) is
+	// bit-identical to the Workers=1 result, because per-feature split
+	// searches are independent and the cross-feature reduction breaks
+	// ties by feature order exactly as the serial scan does.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -86,6 +96,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.LossMiss == 0 {
 		p.LossMiss = 1
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.NumCPU()
 	}
 	return p
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Clone returns a deep copy of the tree.
@@ -95,6 +96,12 @@ type CVResult struct {
 // k-fold cross-validation and returns the evaluated list (sorted as given)
 // plus the best CP. This is how the paper's CP = 0.001 style of setting
 // would be derived from data rather than convention.
+//
+// Folds are independent, so they train and score concurrently on up to
+// p.Workers goroutines. Each fold accumulates into its own loss/weight
+// arrays which merge in fold order afterwards, so the returned losses are
+// bit-identical for every worker count (the serial loop visited folds in
+// the same order).
 func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
 	folds int, cps []float64, seed int64) ([]CVResult, float64, error) {
 	if folds < 2 {
@@ -113,8 +120,13 @@ func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
 		}
 	}
 	p = p.withDefaults()
+	if p.Workers < 0 {
+		return nil, 0, fmt.Errorf("cart: negative Workers %d", p.Workers)
+	}
 
-	// Shuffled fold assignment.
+	// Shuffled fold assignment from a single pre-parallel stream; every
+	// fold then works from this one immutable array, so no RNG is shared
+	// across concurrent work.
 	rng := rand.New(rand.NewSource(seed))
 	fold := make([]int, len(x))
 	for i := range fold {
@@ -122,57 +134,40 @@ func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
 	}
 	rng.Shuffle(len(fold), func(i, j int) { fold[i], fold[j] = fold[j], fold[i] })
 
+	// Concurrent folds split the worker budget so total goroutines stay
+	// bounded by p.Workers regardless of fold count.
+	outer := p.Workers
+	if outer > folds {
+		outer = folds
+	}
+	inner := p.Workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+
+	results := make([]foldResult, folds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, outer)
+	for f := 0; f < folds; f++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[f] = runFold(x, y, w, fold, f, p, kind, cps, inner)
+		}(f)
+	}
+	wg.Wait()
+
 	losses := make([]float64, len(cps))
 	weights := make([]float64, len(cps))
 	for f := 0; f < folds; f++ {
-		var tx [][]float64
-		var ty, tw []float64
-		var vi []int
-		for i := range x {
-			if fold[i] == f {
-				vi = append(vi, i)
-			} else {
-				tx = append(tx, x[i])
-				ty = append(ty, y[i])
-				tw = append(tw, w[i])
-			}
+		if results[f].err != nil {
+			return nil, 0, fmt.Errorf("cart: CV fold %d: %w", f, results[f].err)
 		}
-		if len(vi) == 0 || len(tx) == 0 {
-			continue
-		}
-		// Grow once with minimal pruning, then prune per candidate.
-		grow := p
-		grow.CP = 1e-12
-		var full *Tree
-		var err error
-		if kind == Classification {
-			full, err = TrainClassifier(tx, ty, tw, grow)
-		} else {
-			full, err = TrainRegressor(tx, ty, tw, grow)
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("cart: CV fold %d: %w", f, err)
-		}
-		for ci, cp := range cps {
-			work := full.Clone()
-			Prune(work, cp)
-			for _, i := range vi {
-				pred := work.Predict(x[i])
-				switch kind {
-				case Classification:
-					if pred != y[i] {
-						cost := p.LossMiss
-						if y[i] > 0 {
-							cost = p.LossFA // good sample flagged failed
-						}
-						losses[ci] += w[i] * cost
-					}
-				default:
-					d := pred - y[i]
-					losses[ci] += w[i] * d * d
-				}
-				weights[ci] += w[i]
-			}
+		for ci := range cps {
+			losses[ci] += results[f].losses[ci]
+			weights[ci] += results[f].weights[ci]
 		}
 	}
 
@@ -189,4 +184,73 @@ func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
 		}
 	}
 	return out, out[bestIdx].CP, nil
+}
+
+// foldResult carries one fold's per-candidate loss and weight partials.
+type foldResult struct {
+	losses, weights []float64
+	err             error
+}
+
+// runFold trains one fold's tree and scores every candidate CP on the
+// held-out samples. Empty folds (possible with extreme fold counts)
+// return zero partials, matching the serial loop's `continue`.
+func runFold(x [][]float64, y, w []float64, fold []int, f int,
+	p Params, kind Kind, cps []float64, workers int) foldResult {
+	res := foldResult{
+		losses:  make([]float64, len(cps)),
+		weights: make([]float64, len(cps)),
+	}
+	var tx [][]float64
+	var ty, tw []float64
+	var vi []int
+	for i := range x {
+		if fold[i] == f {
+			vi = append(vi, i)
+		} else {
+			tx = append(tx, x[i])
+			ty = append(ty, y[i])
+			tw = append(tw, w[i])
+		}
+	}
+	if len(vi) == 0 || len(tx) == 0 {
+		return res
+	}
+	// Grow once with minimal pruning, then prune per candidate.
+	grow := p
+	grow.CP = 1e-12
+	grow.Workers = workers
+	var full *Tree
+	var err error
+	if kind == Classification {
+		full, err = TrainClassifier(tx, ty, tw, grow)
+	} else {
+		full, err = TrainRegressor(tx, ty, tw, grow)
+	}
+	if err != nil {
+		res.err = err
+		return res
+	}
+	for ci, cp := range cps {
+		work := full.Clone()
+		Prune(work, cp)
+		for _, i := range vi {
+			pred := work.Predict(x[i])
+			switch kind {
+			case Classification:
+				if pred != y[i] {
+					cost := p.LossMiss
+					if y[i] > 0 {
+						cost = p.LossFA // good sample flagged failed
+					}
+					res.losses[ci] += w[i] * cost
+				}
+			default:
+				d := pred - y[i]
+				res.losses[ci] += w[i] * d * d
+			}
+			res.weights[ci] += w[i]
+		}
+	}
+	return res
 }

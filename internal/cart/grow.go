@@ -6,6 +6,19 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+)
+
+// Parallelism thresholds. Fanning work out only when a node is large
+// enough keeps goroutine overhead off the (many) tiny nodes near the
+// leaves; the thresholds affect scheduling only, never results.
+const (
+	// parallelSplitWork is the minimum samples×features product at a
+	// node before the split search fans out across features.
+	parallelSplitWork = 8192
+	// parallelSubtreeMin is the minimum child sample count before a
+	// subtree is handed to another goroutine.
+	parallelSubtreeMin = 512
 )
 
 // TrainClassifier grows and prunes a classification tree (the paper's
@@ -61,9 +74,24 @@ func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
 	if p.MTry < 0 || p.MTry > nf {
 		return nil, fmt.Errorf("cart: MTry %d outside [0,%d]", p.MTry, nf)
 	}
+	if p.Workers < 0 {
+		return nil, fmt.Errorf("cart: negative Workers %d", p.Workers)
+	}
 	g := &grower{x: x, y: y, w: w, p: p, kind: kind, nf: nf}
-	if p.MTry > 0 && p.MTry < nf {
-		g.rng = rand.New(rand.NewSource(p.Seed))
+	g.mtry = p.MTry > 0 && p.MTry < nf
+	if !g.mtry {
+		g.allFeats = make([]int, nf)
+		for i := range g.allFeats {
+			g.allFeats[i] = i
+		}
+	}
+	if p.Workers > 1 {
+		// The calling goroutine is worker 0; tokens admit the rest.
+		g.tokens = make(chan struct{}, p.Workers-1)
+	}
+	g.scratch.New = func() any {
+		b := make([]bool, len(x))
+		return &b
 	}
 	if kind == Classification {
 		// Loss-adjusted effective weights (altered priors).
@@ -84,28 +112,30 @@ func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
 		idx[i] = i
 	}
 	g.rootTotal = g.totalImpurity(idx)
-	g.inLeft = make([]bool, len(x))
 
 	// Presort every feature column once; splits partition the orderings
 	// stably, so no node ever sorts again (the classic CART presort
-	// optimization: O(F·n·log n) total instead of per node).
+	// optimization: O(F·n·log n) total instead of per node). Columns are
+	// independent, so the sorts fan out across the worker pool.
 	cols := make([][]int32, nf)
-	for f := 0; f < nf; f++ {
+	g.parallelFor(nf, len(x) >= parallelSubtreeMin, func(f int) {
 		col := make([]int32, len(x))
 		for i := range col {
 			col[i] = int32(i)
 		}
 		sort.SliceStable(col, func(a, b int) bool { return x[col[a]][f] < x[col[b]][f] })
 		cols[f] = col
-	}
+	})
 
-	root := g.grow(cols, 1)
+	root := g.grow(cols, 1, 1)
 	t := &Tree{Root: root, Kind: kind, NumFeatures: nf}
 	Prune(t, p.CP)
 	return t, nil
 }
 
-// grower holds the shared training state.
+// grower holds the shared training state. Everything here is read-only
+// during growth except the worker-token channel and the scratch pool, so
+// concurrent subtree workers never contend on data.
 type grower struct {
 	x         [][]float64
 	y         []float64
@@ -114,22 +144,87 @@ type grower struct {
 	p         Params
 	kind      Kind
 	nf        int
-	rootTotal float64    // root impurity mass; normalizes gains
-	rng       *rand.Rand // non-nil only when MTry sampling is active
-	inLeft    []bool     // scratch: left-membership during partitioning
+	rootTotal float64 // root impurity mass; normalizes gains
+	mtry      bool    // MTry feature sampling active
+	allFeats  []int   // 0..nf-1 when MTry is off (shared, read-only)
+
+	// tokens admits up to Workers-1 extra goroutines; nil when serial.
+	// Acquisition never blocks (tryAcquire), so nested fan-out — subtree
+	// workers parallelizing their own split searches — cannot deadlock.
+	tokens chan struct{}
+	// scratch pools the per-partition left-membership buffers, one per
+	// concurrent worker, so no scratch allocation is shared across
+	// goroutines.
+	scratch sync.Pool
+}
+
+// tryAcquire reserves a worker token without blocking.
+func (g *grower) tryAcquire() bool {
+	if g.tokens == nil {
+		return false
+	}
+	select {
+	case g.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *grower) release() { <-g.tokens }
+
+// parallelFor runs fn(i) for each i in [0, k), fanning out onto free
+// worker tokens and falling back inline when none are available. fn must
+// confine its writes to i-indexed slots; then the result is independent of
+// scheduling and identical to the serial loop.
+func (g *grower) parallelFor(k int, parallel bool, fn func(i int)) {
+	if !parallel || g.tokens == nil || k < 2 {
+		for i := 0; i < k; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		if g.tryAcquire() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer g.release()
+				fn(i)
+			}(i)
+		} else {
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// nodeSeed derives a per-node RNG seed from the training seed and the
+// node's path id (root 1, children 2id and 2id+1) via a splitmix64-style
+// mix. Seeding MTry sampling per node — instead of consuming one shared
+// stream in traversal order — is what keeps randomized split searches
+// bit-identical across worker counts: the sample drawn at a node depends
+// only on where the node sits in the tree, never on which goroutine
+// reached it first.
+func nodeSeed(seed int64, id uint64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + id
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 // splitFeatures returns the features to search at one node: all of them,
-// or a fresh MTry-sized sample.
-func (g *grower) splitFeatures() []int {
-	if g.rng == nil {
-		feats := make([]int, g.nf)
-		for i := range feats {
-			feats[i] = i
-		}
-		return feats
+// or a fresh MTry-sized sample drawn from the node's own seeded stream.
+func (g *grower) splitFeatures(id uint64) []int {
+	if !g.mtry {
+		return g.allFeats
 	}
-	perm := g.rng.Perm(g.nf)
+	rng := rand.New(rand.NewSource(nodeSeed(g.p.Seed, id)))
+	perm := rng.Perm(g.nf)
 	return perm[:g.p.MTry]
 }
 
@@ -233,8 +328,13 @@ type split struct {
 
 // grow implements the recursive partitioning loop of Algorithms 1 and 2
 // over presorted feature columns: cols[f] lists the node's sample indices
-// in increasing order of feature f.
-func (g *grower) grow(cols [][]int32, depth int) *Node {
+// in increasing order of feature f. id is the node's path id (root 1,
+// children 2id/2id+1), used only to seed per-node MTry sampling. Left and
+// right subtrees are independent, so when a worker token is free the left
+// child grows on its own goroutine; results land in fixed Node fields, so
+// the merge order is structural and the tree is identical for any worker
+// count.
+func (g *grower) grow(cols [][]int32, depth int, id uint64) *Node {
 	idx := cols[0]
 	s := g.statsCol(idx)
 	node := g.makeNode(s)
@@ -245,7 +345,7 @@ func (g *grower) grow(cols [][]int32, depth int) *Node {
 	if parentMass <= 1e-12 {
 		return node // pure node
 	}
-	best := g.bestSplit(cols, s, parentMass)
+	best := g.bestSplit(cols, s, parentMass, id)
 	if best == nil {
 		return node
 	}
@@ -253,8 +353,20 @@ func (g *grower) grow(cols [][]int32, depth int) *Node {
 	node.Threshold = best.threshold
 	node.Gain = best.gain
 	left, right := g.partition(cols, best)
-	node.Left = g.grow(left, depth+1)
-	node.Right = g.grow(right, depth+1)
+	if len(left[0]) >= parallelSubtreeMin && len(right[0]) >= parallelSubtreeMin && g.tryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer g.release()
+			node.Left = g.grow(left, depth+1, 2*id)
+		}()
+		node.Right = g.grow(right, depth+1, 2*id+1)
+		wg.Wait()
+	} else {
+		node.Left = g.grow(left, depth+1, 2*id)
+		node.Right = g.grow(right, depth+1, 2*id+1)
+	}
 	return node
 }
 
@@ -281,64 +393,89 @@ func (g *grower) statsCol(idx []int32) nodeStats {
 	return s
 }
 
-// bestSplit scans each (selected) presorted column once for the split
-// maximizing the impurity decrease, honouring MinBucket. It returns nil
-// when no split improves impurity.
-func (g *grower) bestSplit(cols [][]int32, all nodeStats, parentMass float64) *split {
+// bestSplit searches each (selected) presorted column for the split
+// maximizing the impurity decrease, honouring MinBucket. Columns are
+// scanned independently — in parallel when the node is large enough — and
+// the per-feature winners reduce in feature-scan order with a strict
+// greater-than, which reproduces the serial loop's tie-breaking (lowest
+// feature first, then lowest cut) bit for bit. It returns nil when no
+// split improves impurity.
+func (g *grower) bestSplit(cols [][]int32, all nodeStats, parentMass float64, id uint64) *split {
+	feats := g.splitFeatures(id)
+	bests := make([]split, len(feats))
+	found := make([]bool, len(feats))
+	parallel := len(cols[0])*len(feats) >= parallelSplitWork
+	g.parallelFor(len(feats), parallel, func(i int) {
+		bests[i], found[i] = g.bestSplitFeature(cols[feats[i]], feats[i], all, parentMass)
+	})
 	var best *split
-	for _, f := range g.splitFeatures() {
-		order := cols[f]
-		var left nodeStats
-		for cut := 1; cut < len(order); cut++ {
-			i := order[cut-1]
-			left.n++
-			left.wRaw += g.w[i]
-			if g.kind == Classification {
-				if g.y[i] < 0 {
-					left.effFailed += g.eff[i]
-					left.rawFailed += g.w[i]
-				} else {
-					left.effGood += g.eff[i]
-				}
-			} else {
-				wy := g.eff[i] * g.y[i]
-				left.sumW += g.eff[i]
-				left.sumWY += wy
-				left.sumWY2 += wy * g.y[i]
-			}
-			v, next := g.x[i][f], g.x[order[cut]][f]
-			if v == next {
-				continue // not a boundary between distinct values
-			}
-			if left.n < g.p.MinBucket || len(order)-left.n < g.p.MinBucket {
-				continue
-			}
-			right := subtractStats(all, left, g.kind)
-			gainAbs := parentMass - left.impurityMass(g.kind) - right.impurityMass(g.kind)
-			rel := gainAbs / g.rootTotal
-			if rel <= 1e-12 {
-				continue
-			}
-			if best == nil || rel > best.gain {
-				if best == nil {
-					best = &split{}
-				}
-				best.feature = f
-				best.threshold = v + (next-v)/2
-				best.gain = rel
-				best.cut = cut
-			}
+	for i := range feats {
+		if found[i] && (best == nil || bests[i].gain > best.gain) {
+			best = &bests[i]
 		}
 	}
 	return best
 }
 
+// bestSplitFeature scans one presorted column once and returns the
+// lowest-cut split achieving the column's maximum gain. It touches only
+// read-only grower state and its own accumulator, so any number of columns
+// may scan concurrently.
+func (g *grower) bestSplitFeature(order []int32, f int, all nodeStats, parentMass float64) (split, bool) {
+	var best split
+	ok := false
+	var left nodeStats
+	for cut := 1; cut < len(order); cut++ {
+		i := order[cut-1]
+		left.n++
+		left.wRaw += g.w[i]
+		if g.kind == Classification {
+			if g.y[i] < 0 {
+				left.effFailed += g.eff[i]
+				left.rawFailed += g.w[i]
+			} else {
+				left.effGood += g.eff[i]
+			}
+		} else {
+			wy := g.eff[i] * g.y[i]
+			left.sumW += g.eff[i]
+			left.sumWY += wy
+			left.sumWY2 += wy * g.y[i]
+		}
+		v, next := g.x[i][f], g.x[order[cut]][f]
+		if v == next {
+			continue // not a boundary between distinct values
+		}
+		if left.n < g.p.MinBucket || len(order)-left.n < g.p.MinBucket {
+			continue
+		}
+		right := subtractStats(all, left, g.kind)
+		gainAbs := parentMass - left.impurityMass(g.kind) - right.impurityMass(g.kind)
+		rel := gainAbs / g.rootTotal
+		if rel <= 1e-12 {
+			continue
+		}
+		if !ok || rel > best.gain {
+			ok = true
+			best.feature = f
+			best.threshold = v + (next-v)/2
+			best.gain = rel
+			best.cut = cut
+		}
+	}
+	return best, ok
+}
+
 // partition splits every presorted column stably according to the chosen
-// split, so children inherit sorted columns without re-sorting.
+// split, so children inherit sorted columns without re-sorting. The
+// left-membership scratch comes from a per-worker pool and is returned
+// all-false, so concurrent partitions never share a buffer.
 func (g *grower) partition(cols [][]int32, best *split) (left, right [][]int32) {
+	bufp := g.scratch.Get().(*[]bool)
+	inLeft := *bufp
 	chosen := cols[best.feature]
 	for _, i := range chosen[:best.cut] {
-		g.inLeft[i] = true
+		inLeft[i] = true
 	}
 	left = make([][]int32, g.nf)
 	right = make([][]int32, g.nf)
@@ -348,7 +485,7 @@ func (g *grower) partition(cols [][]int32, best *split) (left, right [][]int32) 
 		l := make([]int32, 0, nLeft)
 		r := make([]int32, 0, nRight)
 		for _, i := range cols[f] {
-			if g.inLeft[i] {
+			if inLeft[i] {
 				l = append(l, i)
 			} else {
 				r = append(r, i)
@@ -357,8 +494,9 @@ func (g *grower) partition(cols [][]int32, best *split) (left, right [][]int32) 
 		left[f], right[f] = l, r
 	}
 	for _, i := range chosen[:best.cut] {
-		g.inLeft[i] = false
+		inLeft[i] = false
 	}
+	g.scratch.Put(bufp)
 	return left, right
 }
 

@@ -17,6 +17,12 @@ func TestCalibrationCT(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration needs a mid-sized fleet")
 	}
+	if raceDetectorEnabled {
+		// Pure numeric calibration on a mid-sized fleet; the concurrent
+		// paths it would exercise are covered by the race-mode sweep in
+		// TestRunAllExperimentsSmall at a fraction of the cost.
+		t.Skip("calibration sweep is too slow under the race detector")
+	}
 	env, err := NewEnv(Config{Seed: 1, GoodScale: 0.2, FailedScale: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +34,7 @@ func TestCalibrationCT(t *testing.T) {
 	}
 	good, failed := ds.Counts()
 	t.Logf("training samples: %d good, %d failed", good, failed)
-	tree, err := trainCT(ds)
+	tree, err := env.trainCT(ds)
 	if err != nil {
 		t.Fatal(err)
 	}

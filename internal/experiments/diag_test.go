@@ -25,7 +25,7 @@ func TestDiagnoseFalseAlarms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := trainCT(ds)
+	tree, err := env.trainCT(ds)
 	if err != nil {
 		t.Fatal(err)
 	}

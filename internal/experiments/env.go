@@ -27,8 +27,10 @@ type Config struct {
 	// GoodScale/FailedScale scale the family population counts
 	// (1 = the paper's 25,792-drive dataset). Zero means 1.
 	GoodScale, FailedScale float64
-	// Workers bounds trace-generation/evaluation parallelism;
-	// 0 = GOMAXPROCS.
+	// Workers bounds trace-generation, model-training and evaluation
+	// parallelism; 0 = GOMAXPROCS. Model training is deterministic for
+	// any worker count, so changing Workers never changes experiment
+	// results.
 	Workers int
 	// ANNEpochs caps BP ANN training epochs (0 = the paper's 400; the
 	// default experiment configs pass a smaller budget with early
@@ -95,6 +97,9 @@ func (e *Env) memoize(key string, fn func() (any, error)) (any, error) {
 
 // NewEnv builds the synthetic fleet.
 func NewEnv(cfg Config) (*Env, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("experiments: negative Workers %d", cfg.Workers)
+	}
 	cfg = cfg.withDefaults()
 	fleet, err := simulate.New(simulate.Config{
 		Seed:        cfg.Seed,
@@ -301,15 +306,17 @@ func (e *Env) goodSamplesPerDrive() int {
 }
 
 // ctParams are the paper's CT hyper-parameters (§V-A2): Minsplit 20,
-// Minbucket 7, CP 0.001, false-alarm loss 10×.
-func ctParams() cart.Params {
-	return cart.Params{MinSplit: 20, MinBucket: 7, CP: 0.001, LossFA: 10}
+// Minbucket 7, CP 0.001, false-alarm loss 10× — plus the environment's
+// worker budget for the parallel training engine (which provably does not
+// alter the grown tree).
+func (e *Env) ctParams() cart.Params {
+	return cart.Params{MinSplit: 20, MinBucket: 7, CP: 0.001, LossFA: 10, Workers: e.cfg.Workers}
 }
 
 // trainCT trains the paper's CT model on a finalized dataset.
-func trainCT(ds *dataset.Dataset) (*cart.Tree, error) {
+func (e *Env) trainCT(ds *dataset.Dataset) (*cart.Tree, error) {
 	x, y, w := ds.XMatrix()
-	tree, err := cart.TrainClassifier(x, y, w, ctParams())
+	tree, err := cart.TrainClassifier(x, y, w, e.ctParams())
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ func (e *Env) Baselines() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := trainCT(ds)
+	tree, err := e.trainCT(ds)
 	if err != nil {
 		return nil, err
 	}

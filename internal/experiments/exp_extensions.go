@@ -22,16 +22,17 @@ func (e *Env) Forest() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := trainCT(ds)
+	tree, err := e.trainCT(ds)
 	if err != nil {
 		return nil, err
 	}
 	x, y, w := ds.XMatrix()
 	start := time.Now()
 	rf, err := forest.TrainClassifier(x, y, w, forest.Config{
-		Trees:  50,
-		Params: cart.Params{MinSplit: 20, MinBucket: 7, LossFA: 10},
-		Seed:   e.cfg.Seed,
+		Trees:   50,
+		Params:  cart.Params{MinSplit: 20, MinBucket: 7, LossFA: 10},
+		Seed:    e.cfg.Seed,
+		Workers: e.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -62,7 +63,7 @@ func (e *Env) Boost() (*Report, error) {
 		return nil, err
 	}
 	start := time.Now()
-	tree, err := trainCT(ds)
+	tree, err := e.trainCT(ds)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +74,7 @@ func (e *Env) Boost() (*Report, error) {
 		Rounds:   20,
 		MaxDepth: 5,
 		Params:   cart.Params{MinSplit: 20, MinBucket: 7, CP: 1e-6, LossFA: 10},
+		Workers:  e.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

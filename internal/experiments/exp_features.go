@@ -62,7 +62,7 @@ func (e *Env) table3Row(model string, features smart.FeatureSet) (eval.Result, e
 	var predictor detect.Predictor
 	switch model {
 	case "CT":
-		tree, err := trainCT(ds)
+		tree, err := e.trainCT(ds)
 		if err != nil {
 			return eval.Result{}, err
 		}
@@ -120,7 +120,7 @@ func (e *Env) Table4() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := trainCT(ds)
+		tree, err := e.trainCT(ds)
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func (e *Env) Table5() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := trainCT(ctDS)
+		tree, err := e.trainCT(ctDS)
 		if err != nil {
 			return nil, fmt.Errorf("table5 CT %s: %w", names[i], err)
 		}

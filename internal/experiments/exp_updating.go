@@ -111,7 +111,7 @@ func (e *Env) updatingModels(family string) (*updatingModelSet, error) {
 			if err != nil {
 				return nil, err
 			}
-			tree, err := trainCT(ctDS)
+			tree, err := e.trainCT(ctDS)
 			if err != nil {
 				return nil, fmt.Errorf("updating CT weeks %d-%d: %w", wr.start, wr.end, err)
 			}

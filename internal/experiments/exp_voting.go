@@ -29,7 +29,7 @@ func (e *Env) standardModels(family string) (*cart.Tree, *ann.Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := trainCT(ctDS)
+		tree, err := e.trainCT(ctDS)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Race instrumentation slows the experiment sweep roughly an order
+// of magnitude, so the heaviest tests trim themselves to stay inside the
+// default go test timeout while keeping every concurrent code path covered.
+const raceDetectorEnabled = true

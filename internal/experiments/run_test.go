@@ -18,13 +18,26 @@ func TestRunAllExperimentsSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep is slow")
 	}
+	ids := IDs()
+	if raceDetectorEnabled {
+		// Race instrumentation makes the full 21-experiment sweep blow the
+		// default go test timeout, so run a subset that still drives every
+		// concurrent path: the trace fan-out (table1/figure5), dataset
+		// assembly (table2), parallel CT training and evaluation (table3),
+		// the model-updating pool (figure8), the forest and boosting
+		// ensembles, the storage simulator, and chart assembly (figure12).
+		ids = []string{
+			"table1", "table2", "table3", "figure5", "figure8",
+			"figure12", "forest", "boost", "storagesim",
+		}
+	}
 	var buf bytes.Buffer
-	if err := Run(smallConfig(), nil, &buf); err != nil {
+	if err := Run(smallConfig(), ids, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	t.Logf("\n%s", out)
-	for _, id := range IDs() {
+	for _, id := range ids {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("output missing report %q", id)
 		}
@@ -35,6 +48,12 @@ func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	err := Run(smallConfig(), []string{"table99"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	if _, err := NewEnv(Config{Workers: -1}); err == nil || !strings.Contains(err.Error(), "negative Workers") {
 		t.Errorf("err = %v", err)
 	}
 }

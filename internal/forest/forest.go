@@ -34,7 +34,10 @@ type Config struct {
 	Params cart.Params
 	// Seed drives all resampling.
 	Seed int64
-	// Workers bounds training parallelism; 0 = GOMAXPROCS.
+	// Workers bounds training parallelism; 0 = GOMAXPROCS. The trained
+	// forest — every tree and the OOB estimate — is bit-identical for
+	// any worker count: each tree's resampling RNG is seeded from its
+	// index and OOB contributions fold in tree order.
 	Workers int
 }
 
@@ -60,6 +63,12 @@ func (c Config) withDefaults(nf int, kind cart.Kind) Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Params.Workers == 0 {
+		// Trees already train concurrently; growing each tree serially
+		// avoids oversubscribing the pool. Callers can still opt into
+		// nested parallelism (e.g. few huge trees) explicitly.
+		c.Params.Workers = 1
 	}
 	return c
 }
@@ -110,10 +119,12 @@ func train(x [][]float64, y, w []float64, cfg Config, kind cart.Kind) (*Forest, 
 	}
 
 	f := &Forest{Trees: make([]*cart.Tree, cfg.Trees), Kind: kind}
-	// Out-of-bag accumulators.
-	oobSum := make([]float64, n)
-	oobCount := make([]int, n)
-	var oobMu sync.Mutex
+
+	// Per-tree OOB contributions, deposited by index and folded in tree
+	// order after the pool drains: summing floats in completion order
+	// would make OOBError depend on goroutine scheduling.
+	inBags := make([][]bool, cfg.Trees)
+	oobPreds := make([][]float64, cfg.Trees)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -124,6 +135,9 @@ func train(x [][]float64, y, w []float64, cfg Config, kind cart.Kind) (*Forest, 
 		go func(t int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Each tree owns an RNG seeded from its index, so
+			// resampling is reproducible and never shared across
+			// goroutines.
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
 			inBag := make([]bool, n)
 			bx := make([][]float64, 0, sampleSize)
@@ -157,22 +171,35 @@ func train(x [][]float64, y, w []float64, cfg Config, kind cart.Kind) (*Forest, 
 			}
 			f.Trees[t] = tree
 
-			// Out-of-bag accumulation.
-			oobMu.Lock()
+			// Score this tree's out-of-bag samples here (in parallel);
+			// the float accumulation happens later, in tree order.
+			preds := make([]float64, n)
 			for i := 0; i < n; i++ {
-				if inBag[i] {
-					continue
+				if !inBag[i] {
+					preds[i] = tree.Predict(x[i])
 				}
-				oobSum[i] += tree.Predict(x[i])
-				oobCount[i]++
 			}
-			oobMu.Unlock()
+			inBags[t] = inBag
+			oobPreds[t] = preds
 		}(t)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+
+	// Out-of-bag accumulation, folded deterministically in tree order.
+	oobSum := make([]float64, n)
+	oobCount := make([]int, n)
+	for t := 0; t < cfg.Trees; t++ {
+		for i := 0; i < n; i++ {
+			if inBags[t][i] {
+				continue
+			}
+			oobSum[i] += oobPreds[t][i]
+			oobCount[i]++
 		}
 	}
 

@@ -1,0 +1,81 @@
+package forest
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hddcart/internal/cart"
+)
+
+// parallelData builds a mid-sized noisy two-class dataset large enough to
+// exercise the per-tree worker pool.
+func parallelData(seed int64, n, nf int) (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		row := make([]float64, nf)
+		for f := range row {
+			row[f] = math.Floor(rng.Float64()*32) / 32
+		}
+		x[i] = row
+		y[i] = 1
+		if row[0]+row[1] > 1.1 {
+			y[i] = -1
+		}
+		if rng.Float64() < 0.08 {
+			y[i] = -y[i]
+		}
+	}
+	return x, y
+}
+
+// TestParallelDeterminismForest proves the whole trained forest — every
+// member tree and the OOB estimate — is byte-identical for any worker
+// count, including nested tree-level parallelism.
+func TestParallelDeterminismForest(t *testing.T) {
+	x, y := parallelData(7, 1200, 9)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"classification", Config{Trees: 12, Seed: 4}},
+		{"nested-tree-workers", Config{Trees: 6, Seed: 4,
+			Params: cart.Params{MinSplit: 4, MinBucket: 2, CP: 1e-9}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var refTrees []byte
+			var refOOB float64
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				if tc.name == "nested-tree-workers" {
+					// Opt into per-tree parallelism too: the result
+					// must still match the all-serial reference.
+					cfg.Params.Workers = workers
+				}
+				f, err := TrainClassifier(x, y, nil, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				enc, err := json.Marshal(f.Trees)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					refTrees, refOOB = enc, f.OOBError
+					continue
+				}
+				if string(enc) != string(refTrees) {
+					t.Errorf("workers=%d forest trees differ from serial result", workers)
+				}
+				if f.OOBError != refOOB {
+					t.Errorf("workers=%d OOB error %v, serial %v", workers, f.OOBError, refOOB)
+				}
+			}
+		})
+	}
+}
