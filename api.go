@@ -42,6 +42,10 @@ type (
 	Tree = cart.Tree
 	// TreeParams are the CART hyper-parameters.
 	TreeParams = cart.Params
+	// CompiledTree is a tree flattened into cache-friendly arrays for
+	// fast, allocation-free inference (Tree.Compile). Predictions are
+	// bit-identical to the pointer tree's.
+	CompiledTree = cart.CompiledTree
 	// Network is the BP ANN baseline model.
 	Network = ann.Network
 	// NetworkConfig are the BP ANN hyper-parameters.
@@ -51,6 +55,10 @@ type (
 	Detector = detect.Detector
 	// Predictor scores one feature vector (trees and networks qualify).
 	Predictor = detect.Predictor
+	// BatchPredictor is a Predictor that also scores whole blocks of
+	// feature vectors into a caller-provided buffer (compiled models and
+	// networks qualify); detectors use the batch path automatically.
+	BatchPredictor = detect.BatchPredictor
 	// VotingDetector is the paper's voting-based detection algorithm.
 	VotingDetector = detect.Voting
 	// MeanThresholdDetector is the health-degree detection algorithm.
@@ -90,10 +98,16 @@ type (
 	Forest = forest.Forest
 	// ForestConfig are the forest hyper-parameters.
 	ForestConfig = forest.Config
+	// CompiledForest is a forest with every tree compiled
+	// (Forest.Compile); predictions are bit-identical to the original.
+	CompiledForest = forest.Compiled
 	// BoostEnsemble is an AdaBoost committee of shallow trees.
 	BoostEnsemble = boost.Ensemble
 	// BoostConfig are the AdaBoost hyper-parameters.
 	BoostConfig = boost.Config
+	// CompiledBoost is a committee with every weak learner compiled
+	// (BoostEnsemble.Compile); predictions are bit-identical.
+	CompiledBoost = boost.Compiled
 
 	// StorageSimConfig parameterizes the discrete-event storage-system
 	// simulation with proactive fault tolerance.
@@ -198,6 +212,34 @@ func ExtractSeries(features FeatureSet, trace []Record, from, to int) Series {
 // Scan runs a detector over a drive's series; failHour is -1 for good
 // drives.
 func Scan(d Detector, s Series, failHour int) Outcome { return detect.Scan(d, s, failHour) }
+
+// ScanBatch runs a detector over many drives' series on up to workers
+// goroutines (≤ 1 scans serially). failHours[i] is drive i's failure
+// instant, -1 (or a nil slice) for good drives. Outcomes land at each
+// drive's own index, so results are identical for every worker count.
+func ScanBatch(d Detector, series []Series, failHours []int, workers int) []Outcome {
+	return detect.ScanBatch(d, series, failHours, workers)
+}
+
+// CompileModel returns the compiled, inference-optimized form of a trained
+// model: trees, forests and boosting committees are flattened into their
+// cache-friendly array representations (with allocation-free batch
+// scoring), and any other predictor — including the BP ANN, which already
+// batches — is returned unchanged. The compiled model's predictions are
+// bit-identical to the original's, so it is a drop-in replacement anywhere
+// a Predictor is scored.
+func CompileModel(p Predictor) Predictor {
+	switch m := p.(type) {
+	case *cart.Tree:
+		return m.Compile()
+	case *forest.Forest:
+		return m.Compile()
+	case *boost.Ensemble:
+		return m.Compile()
+	default:
+		return p
+	}
+}
 
 // PersonalizedWindows derives per-drive deterioration windows from a
 // first-pass detector (§III-B).

@@ -284,6 +284,159 @@ func BenchmarkTreePredict(b *testing.B) {
 	}
 }
 
+// --- Compiled-inference benchmarks ---------------------------------------
+//
+// These back the compiled engine's performance claim: the flat-array
+// representation must beat the pointer tree on single-thread inference and
+// the batch path must be allocation-free. cmd/benchjson turns their output
+// into BENCH_inference.json.
+
+// benchInferenceTree trains the standard CT and returns it with the
+// benchmark feature matrix.
+func benchInferenceTree(b *testing.B) (*cart.Tree, [][]float64) {
+	b.Helper()
+	a := newAblationEnv(b, smart.CriticalFeatures(), 0.2)
+	x, y, w := a.ds.XMatrix()
+	tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, x
+}
+
+// reportPerSample adds a ns/sample metric to a whole-matrix benchmark.
+func reportPerSample(b *testing.B, samples int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(samples), "ns/sample")
+}
+
+// BenchmarkPredictCompiledTree scores the full benchmark matrix per
+// iteration through the pointer tree, the compiled tree and the compiled
+// batch path.
+func BenchmarkPredictCompiledTree(b *testing.B) {
+	tree, x := benchInferenceTree(b)
+	c := tree.Compile()
+	dst := make([]float64, len(x))
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, row := range x {
+				tree.Predict(row)
+			}
+		}
+		reportPerSample(b, len(x))
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, row := range x {
+				c.Predict(row)
+			}
+		}
+		reportPerSample(b, len(x))
+	})
+	b.Run("compiledBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.PredictBatch(x, dst)
+		}
+		reportPerSample(b, len(x))
+	})
+}
+
+// BenchmarkPredictCompiledForest compares pointer and compiled forests at
+// a production-sized ensemble (48 trees): the pointer walk's cost per tree
+// grows once the ensemble's nodes outgrow cache, while the partitioned
+// batch engine touches each node once per block and stays flat — this is
+// where the compiled representation earns its keep.
+func BenchmarkPredictCompiledForest(b *testing.B) {
+	a := newAblationEnv(b, smart.CriticalFeatures(), 0.2)
+	x, y, w := a.ds.XMatrix()
+	f, err := forest.TrainClassifier(x, y, w, forest.Config{Trees: 48, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := f.Compile()
+	dst := make([]float64, len(x))
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, row := range x {
+				f.Predict(row)
+			}
+		}
+		reportPerSample(b, len(x))
+	})
+	b.Run("compiledBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.PredictBatch(x, dst)
+		}
+		reportPerSample(b, len(x))
+	})
+}
+
+// benchFleetSeries extracts every benchmark drive's evaluation series once
+// so fleet-scan benchmarks measure scanning, not trace generation.
+func benchFleetSeries(b *testing.B, a *ablationEnv) (series []detect.Series, failHours []int, samples int) {
+	b.Helper()
+	for _, d := range a.fleet.DrivesOf("W") {
+		trace := a.fleet.Trace(d.Index)
+		if d.Failed {
+			if dataset.IsTrainFailedDrive(1, d.Index, 0.7) {
+				continue
+			}
+			s := detect.ExtractSeries(a.features, trace, 0, len(trace))
+			series = append(series, s)
+			failHours = append(failHours, d.FailHour)
+			samples += len(s.X)
+			continue
+		}
+		from, to, ok := dataset.TestStart(trace, 0, simulate.HoursPerWeek, 0.7)
+		if !ok {
+			continue
+		}
+		s := detect.ExtractSeries(a.features, trace, from, to)
+		series = append(series, s)
+		failHours = append(failHours, -1)
+		samples += len(s.X)
+	}
+	return series, failHours, samples
+}
+
+// BenchmarkFleetScan scans the benchmark fleet's series with the 11-voter
+// detector: the pointer tree serially versus the compiled tree at several
+// worker counts. Msamples/s is the fleet-scan throughput.
+func BenchmarkFleetScan(b *testing.B) {
+	a := newAblationEnv(b, smart.CriticalFeatures(), 0.2)
+	x, y, w := a.ds.XMatrix()
+	tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	series, failHours, samples := benchFleetSeries(b, a)
+	throughput := func(b *testing.B) {
+		b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msamples/s")
+	}
+	b.Run("pointer/workers=1", func(b *testing.B) {
+		det := &detect.Voting{Model: tree, Voters: 11}
+		for i := 0; i < b.N; i++ {
+			detect.ScanBatch(det, series, failHours, 1)
+		}
+		throughput(b)
+	})
+	compiled := tree.Compile()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("compiled/workers=%d", workers), func(b *testing.B) {
+			det := &detect.Voting{Model: compiled, Voters: 11}
+			for i := 0; i < b.N; i++ {
+				detect.ScanBatch(det, series, failHours, workers)
+			}
+			throughput(b)
+		})
+	}
+}
+
 // BenchmarkMarkovSolve measures the banded time-to-absorption solve at the
 // paper's largest Fig. 12 system size (2,500 drives, 7,500 states).
 func BenchmarkMarkovSolve(b *testing.B) {

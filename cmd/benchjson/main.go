@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON report, so inference-performance numbers (ns/op, ns/sample,
+// allocs/op, fleet-scan Msamples/s) can be committed and diffed across
+// changes. Repeated runs of the same benchmark (-count > 1) are collapsed
+// to their per-metric medians, which resists the odd noisy run.
+//
+// Usage:
+//
+//	go test -bench 'Predict|FleetScan' -count 3 . | benchjson -o BENCH_inference.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	in := flag.String("i", "", "benchmark output to read (default stdin)")
+	out := flag.String("o", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hddcart
+cpu: AMD EPYC 7B13
+BenchmarkPredictCompiledTree/pointer         	   18258	    130729 ns/op	         7.535 ns/sample
+BenchmarkPredictCompiledTree/pointer         	   20084	    122395 ns/op	         7.055 ns/sample
+BenchmarkPredictCompiledTree/pointer         	   19150	    123434 ns/op	         7.115 ns/sample
+BenchmarkPredictCompiledTree/compiledBatch-8 	   16047	    166104 ns/op	         9.574 ns/sample	       0 B/op	       0 allocs/op
+BenchmarkFleetScan/compiled/workers=4        	    5025	    483888 ns/op	        67.96 Msamples/s
+PASS
+ok  	hddcart	37.958s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	report, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Context["goos"]; got != "linux" {
+		t.Errorf("context goos = %q, want linux", got)
+	}
+	if got := report.Context["cpu"]; got != "AMD EPYC 7B13" {
+		t.Errorf("context cpu = %q", got)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+
+	ptr := report.Benchmarks[0]
+	if ptr.Name != "PredictCompiledTree/pointer" {
+		t.Errorf("name = %q", ptr.Name)
+	}
+	if ptr.Runs != 3 {
+		t.Errorf("runs = %d, want 3", ptr.Runs)
+	}
+	// Median of three runs, not mean: 123434 ns/op and 7.115 ns/sample.
+	if got := ptr.Metrics["ns/op"]; got != 123434 {
+		t.Errorf("ns/op median = %v, want 123434", got)
+	}
+	if got := ptr.Metrics["ns/sample"]; got != 7.115 {
+		t.Errorf("ns/sample median = %v, want 7.115", got)
+	}
+	if ptr.Iterations != 19150 {
+		t.Errorf("iterations median = %d, want 19150", ptr.Iterations)
+	}
+
+	// The -8 GOMAXPROCS suffix is stripped; alloc metrics survive.
+	batch := report.Benchmarks[1]
+	if batch.Name != "PredictCompiledTree/compiledBatch" {
+		t.Errorf("name = %q", batch.Name)
+	}
+	if got, ok := batch.Metrics["allocs/op"]; !ok || got != 0 {
+		t.Errorf("allocs/op = %v (present=%v), want 0", got, ok)
+	}
+
+	fleet := report.Benchmarks[2]
+	if fleet.Name != "FleetScan/compiled/workers=4" {
+		t.Errorf("name = %q", fleet.Name)
+	}
+	if got := fleet.Metrics["Msamples/s"]; got != 67.96 {
+		t.Errorf("Msamples/s = %v, want 67.96", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12 34",            // odd trailing fields
+		"BenchmarkX notanint 1 ns/op", // bad iteration count
+		"BenchmarkX 12 nan? ns/op no", // bad metric value arity
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	report, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("got %d benchmarks, want 0", len(report.Benchmarks))
+	}
+}

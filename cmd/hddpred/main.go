@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hddcart/internal/ann"
 	"hddcart/internal/cart"
@@ -294,6 +295,29 @@ func detectorFor(mf *modelFile, model detect.Predictor, voters int, threshold fl
 	return &detect.Voting{Model: model, Voters: voters, Threshold: 0}
 }
 
+// compiledModel returns the inference-optimized form of a loaded model:
+// trees are flattened into their compiled representation (bit-identical
+// predictions, so evaluation results are unchanged); the ANN already
+// batches and is returned as-is.
+func compiledModel(model detect.Predictor, mf *modelFile) detect.Predictor {
+	if mf.Type == "ct" || mf.Type == "rt" {
+		return mf.Tree.Compile()
+	}
+	return model
+}
+
+// scanWorkers validates a -workers flag for the scan paths (mirroring the
+// training-side validation in cart.Params) and resolves 0 to all cores.
+func scanWorkers(cmd string, workers int) (int, error) {
+	if workers < 0 {
+		return 0, fmt.Errorf("%s: negative Workers %d", cmd, workers)
+	}
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return workers, nil
+}
+
 func cmdEvaluate(args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	data, format := dataFlags(fs)
@@ -303,11 +327,16 @@ func cmdEvaluate(args []string) error {
 	periodStart := fs.Int("period-start", 0, "good test window start hour")
 	periodEnd := fs.Int("period-end", 168, "good test window end hour")
 	seed := fs.Int64("seed", 1, "failed-drive split seed (must match training)")
+	workers := fs.Int("workers", 0, "scan worker-pool size (0 = all cores); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return errors.New("evaluate: -data is required")
+	}
+	w, err := scanWorkers("evaluate", *workers)
+	if err != nil {
+		return err
 	}
 	model, mf, err := loadModel(*modelPath)
 	if err != nil {
@@ -318,23 +347,37 @@ func cmdEvaluate(args []string) error {
 		return err
 	}
 	features := smart.CriticalFeatures()
-	det := detectorFor(mf, model, *voters, *threshold)
-	var c eval.Counter
+	det := detectorFor(mf, compiledModel(model, mf), *voters, *threshold)
+	var series []detect.Series
+	var failHours []int
+	var isFailed []bool
 	for i, d := range drives {
 		if d.Meta.Failed {
 			if dataset.IsTrainFailedDrive(*seed, i, 0.7) {
 				continue
 			}
-			s := detect.ExtractSeries(features, d.Records, 0, len(d.Records))
-			c.AddFailed(detect.Scan(det, s, d.Meta.FailHour))
+			series = append(series, detect.ExtractSeries(features, d.Records, 0, len(d.Records)))
+			failHours = append(failHours, d.Meta.FailHour)
+			isFailed = append(isFailed, true)
 			continue
 		}
 		from, to, ok := dataset.TestStart(d.Records, *periodStart, *periodEnd, 0.7)
 		if !ok {
 			continue
 		}
-		s := detect.ExtractSeries(features, d.Records, from, to)
-		c.AddGood(detect.Scan(det, s, -1).Alarmed)
+		series = append(series, detect.ExtractSeries(features, d.Records, from, to))
+		failHours = append(failHours, -1)
+		isFailed = append(isFailed, false)
+	}
+	// Drives scan on w goroutines; each outcome lands at its drive's own
+	// index, so the counts below are identical for every worker count.
+	var c eval.Counter
+	for i, out := range detect.ScanBatch(det, series, failHours, w) {
+		if isFailed[i] {
+			c.AddFailed(out)
+		} else {
+			c.AddGood(out.Alarmed)
+		}
 	}
 	fmt.Println(c.Result().String())
 	return nil
@@ -346,11 +389,16 @@ func cmdPredict(args []string) error {
 	modelPath := fs.String("m", "model.json", "model file")
 	voters := fs.Int("voters", 11, "voting/averaging window N")
 	threshold := fs.Float64("threshold", -0.3, "health-degree alarm threshold (rt models)")
+	workers := fs.Int("workers", 0, "scan worker-pool size (0 = all cores); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return errors.New("predict: -data is required")
+	}
+	w, err := scanWorkers("predict", *workers)
+	if err != nil {
+		return err
 	}
 	model, mf, err := loadModel(*modelPath)
 	if err != nil {
@@ -361,14 +409,20 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	features := smart.CriticalFeatures()
-	det := detectorFor(mf, model, *voters, *threshold)
+	det := detectorFor(mf, compiledModel(model, mf), *voters, *threshold)
+	series := make([]detect.Series, len(drives))
+	for i, d := range drives {
+		series[i] = detect.ExtractSeries(features, d.Records, 0, len(d.Records))
+	}
+	// Scans fan out across w goroutines; outcomes land at each drive's own
+	// index, so the report below is printed in input order regardless of
+	// the worker count.
+	outs := detect.ScanBatch(det, series, nil, w)
 	warnings := 0
-	for _, d := range drives {
-		s := detect.ExtractSeries(features, d.Records, 0, len(d.Records))
-		out := detect.Scan(det, s, -1)
-		if out.Alarmed {
+	for i, d := range drives {
+		if outs[i].Alarmed {
 			warnings++
-			fmt.Printf("%s\tWARNING at hour %d\n", d.Meta.Serial, out.AlarmHour)
+			fmt.Printf("%s\tWARNING at hour %d\n", d.Meta.Serial, outs[i].AlarmHour)
 		} else {
 			fmt.Printf("%s\thealthy\n", d.Meta.Serial)
 		}

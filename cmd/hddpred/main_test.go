@@ -84,6 +84,27 @@ func TestTrainANN(t *testing.T) {
 	}
 }
 
+// TestScanWorkersFlag covers the -workers flag on the scan paths: negative
+// values are rejected with the training-side message, and positive worker
+// counts run cleanly (per-drive outcomes are index-addressed, so any count
+// yields identical results — the detect package's batch tests enforce it).
+func TestScanWorkersFlag(t *testing.T) {
+	data := writeFixture(t)
+	model := filepath.Join(t.TempDir(), "ct.json")
+	if err := run([]string{"train", "-data", data, "-model", "ct", "-o", model}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"evaluate", "predict"} {
+		err := run([]string{sub, "-data", data, "-m", model, "-workers", "-1"})
+		if err == nil || !strings.Contains(err.Error(), "negative Workers") {
+			t.Errorf("%s -workers -1: got %v, want negative Workers error", sub, err)
+		}
+		if err := run([]string{sub, "-data", data, "-m", model, "-workers", "3"}); err != nil {
+			t.Errorf("%s -workers 3: %v", sub, err)
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		nil,                        // no subcommand

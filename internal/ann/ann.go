@@ -227,6 +227,27 @@ func (n *Network) Predict(x []float64) float64 {
 // PredictFailed reports whether the network classifies x as failed.
 func (n *Network) PredictFailed(x []float64) bool { return n.Predict(x) < 0 }
 
+// PredictBatch scores a block of inputs into dst and returns it (nil or
+// short dst allocates a fresh slice). Unlike per-sample Predict, the
+// standardized-input and hidden-layer scratch is allocated once for the
+// whole block and reused across samples, so large scans amortize the two
+// small buffers instead of paying them per call. dst[i] equals
+// Predict(xs[i]) bit for bit: each sample runs the exact same standardize
+// + forward arithmetic.
+func (n *Network) PredictBatch(xs [][]float64, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	xi := make([]float64, n.NumInputs)
+	hid := make([]float64, n.Hidden)
+	for i, x := range xs {
+		n.standardize(x, xi)
+		dst[i] = n.forward(xi, hid)
+	}
+	return dst
+}
+
 // Marshal serializes the network to JSON.
 func (n *Network) Marshal() ([]byte, error) { return json.Marshal(n) }
 

@@ -1,0 +1,47 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPredictBatchBitIdentical proves the batch forward pass matches the
+// per-sample path exactly and reuses a caller-provided output buffer.
+func TestPredictBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		x = append(x, []float64{a, b, c})
+		if a+b-c > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	n, err := Train(x, y, nil, Config{Hidden: 6, Epochs: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(x))
+	out := n.PredictBatch(x, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("PredictBatch did not reuse the provided buffer")
+	}
+	for i := range x {
+		if want := n.Predict(x[i]); out[i] != want {
+			t.Fatalf("PredictBatch[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	// nil dst allocates a correctly sized result.
+	out2 := n.PredictBatch(x[:7], nil)
+	if len(out2) != 7 {
+		t.Fatalf("PredictBatch(nil dst) returned %d results, want 7", len(out2))
+	}
+	for i := range out2 {
+		if out2[i] != out[i] {
+			t.Fatalf("PredictBatch(nil dst)[%d] diverged", i)
+		}
+	}
+}

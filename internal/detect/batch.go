@@ -1,0 +1,104 @@
+package detect
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BatchPredictor is the optional extension of Predictor implemented by the
+// compiled models (cart.CompiledTree, forest.Compiled, boost.Compiled) and
+// ann.Network: it scores a whole block of feature vectors into dst,
+// reusing it when large enough, and returns the scored slice. dst[i] must
+// equal Predict(xs[i]) bit for bit — detectors rely on that to keep batch
+// and streaming scans interchangeable.
+type BatchPredictor interface {
+	Predictor
+	PredictBatch(xs [][]float64, dst []float64) []float64
+}
+
+// minScoreChunk bounds how finely scoreInto splits a block: chunks smaller
+// than this cost more in goroutine churn than they save in scoring time.
+const minScoreChunk = 256
+
+// scoreInto fills dst[i] with model's score of xs[i], using the batch path
+// when the model supports it and splitting the block into contiguous
+// chunks across up to workers goroutines. Every sample's score lands at
+// its own index, so the result is identical for every worker count.
+func scoreInto(model Predictor, xs [][]float64, dst []float64, workers int) {
+	bp, batched := model.(BatchPredictor)
+	if workers <= 1 || len(xs) < 2*minScoreChunk {
+		scoreChunk(model, bp, batched, xs, dst)
+		return
+	}
+	chunks := (len(xs) + minScoreChunk - 1) / minScoreChunk
+	if chunks > workers {
+		chunks = workers
+	}
+	size := (len(xs) + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(xs); lo += size {
+		hi := lo + size
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scoreChunk(model, bp, batched, xs[lo:hi], dst[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func scoreChunk(model Predictor, bp BatchPredictor, batched bool, xs [][]float64, dst []float64) {
+	if batched {
+		bp.PredictBatch(xs, dst)
+		return
+	}
+	for i, x := range xs {
+		dst[i] = model.Predict(x)
+	}
+}
+
+// ScanBatch runs a detector over many drives' series on up to workers
+// goroutines (≤ 1 scans serially). failHours[i] is drive i's failure
+// instant, -1 (or a nil slice) for good drives. Outcomes are written at
+// each drive's own index, so the result is identical for every worker
+// count. The detector is shared across goroutines and must therefore be
+// stateless across Detect calls, as Voting, MeanThreshold and MultiVoting
+// are.
+func ScanBatch(d Detector, series []Series, failHours []int, workers int) []Outcome {
+	out := make([]Outcome, len(series))
+	failHour := func(i int) int {
+		if failHours == nil {
+			return -1
+		}
+		return failHours[i]
+	}
+	if workers <= 1 || len(series) < 2 {
+		for i := range series {
+			out[i] = Scan(d, series[i], failHour(i))
+		}
+		return out
+	}
+	if workers > len(series) {
+		workers = len(series)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(series) {
+					return
+				}
+				out[i] = Scan(d, series[i], failHour(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -14,8 +14,19 @@
 package detect
 
 import (
+	"sync"
+
 	"hddcart/internal/smart"
 )
+
+// detectChunk is how many samples the batch detection paths score per model
+// call: big enough to amortize batch setup, small enough that a drive
+// alarming early doesn't pay for scoring its whole series.
+const detectChunk = 512
+
+// scoreBuf pools per-series score buffers so the batch detection paths
+// stay allocation-free across drives in steady state.
+var scoreBuf = sync.Pool{New: func() any { return new([]float64) }}
 
 // Predictor scores one feature vector: positive values mean healthy,
 // negative values mean failing. Both cart.Tree and ann.Network satisfy it.
@@ -43,11 +54,44 @@ type Voting struct {
 var _ Detector = (*Voting)(nil)
 
 // Detect implements Detector: the first index i (i ≥ N−1) where more than
-// N/2 of samples i−N+1..i vote failed, else -1.
+// N/2 of samples i−N+1..i vote failed, else -1. When Model also implements
+// BatchPredictor the series is scored in pooled, allocation-free chunks
+// interleaved with the vote sweep (so an early alarm stops scoring, like
+// the streaming path); the per-sample comparisons are unchanged, so both
+// paths alarm at the same index.
 func (v *Voting) Detect(xs [][]float64) int {
 	n := v.Voters
 	if n < 1 {
 		n = 1
+	}
+	if bp, ok := v.Model.(BatchPredictor); ok {
+		bufp := scoreBuf.Get().(*[]float64)
+		scores := *bufp
+		if cap(scores) < len(xs) {
+			scores = make([]float64, len(xs))
+		}
+		scores = scores[:len(xs)]
+		votes, idx := 0, -1
+	sweep:
+		for lo := 0; lo < len(xs); lo += detectChunk {
+			hi := min(lo+detectChunk, len(xs))
+			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
+			for i := lo; i < hi; i++ {
+				if scores[i] < v.Threshold {
+					votes++
+				}
+				if i >= n && scores[i-n] < v.Threshold {
+					votes--
+				}
+				if i >= n-1 && 2*votes > n {
+					idx = i
+					break sweep
+				}
+			}
+		}
+		*bufp = scores
+		scoreBuf.Put(bufp)
+		return idx
 	}
 	votes := 0
 	window := make([]bool, 0, n)
@@ -82,11 +126,42 @@ type MeanThreshold struct {
 
 var _ Detector = (*MeanThreshold)(nil)
 
-// Detect implements Detector.
+// Detect implements Detector. When Model also implements BatchPredictor
+// the series is scored in pooled, allocation-free chunks interleaved with
+// the window sweep; the rolling sum adds and subtracts the same scores in
+// the same order as the streaming path, so the mean comparison is
+// bit-identical.
 func (m *MeanThreshold) Detect(xs [][]float64) int {
 	n := m.Voters
 	if n < 1 {
 		n = 1
+	}
+	if bp, ok := m.Model.(BatchPredictor); ok {
+		bufp := scoreBuf.Get().(*[]float64)
+		scores := *bufp
+		if cap(scores) < len(xs) {
+			scores = make([]float64, len(xs))
+		}
+		scores = scores[:len(xs)]
+		sum, idx := 0.0, -1
+	sweep:
+		for lo := 0; lo < len(xs); lo += detectChunk {
+			hi := min(lo+detectChunk, len(xs))
+			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
+			for i := lo; i < hi; i++ {
+				sum += scores[i]
+				if i >= n {
+					sum -= scores[i-n]
+				}
+				if i >= n-1 && sum/float64(n) < m.Threshold {
+					idx = i
+					break sweep
+				}
+			}
+		}
+		*bufp = scores
+		scoreBuf.Put(bufp)
+		return idx
 	}
 	sum := 0.0
 	scores := make([]float64, 0, len(xs))
@@ -122,13 +197,22 @@ func ExtractSeries(features smart.FeatureSet, trace []smart.Record, from, to int
 		to = len(trace)
 	}
 	var s Series
+	if to <= from {
+		return s
+	}
+	s.X = make([][]float64, 0, to-from)
+	s.Hours = make([]int, 0, to-from)
+	var x []float64
 	for i := from; i < to; i++ {
-		x := make([]float64, len(features))
+		if x == nil {
+			x = make([]float64, len(features))
+		}
 		if !features.Extract(trace, i, x) {
-			continue
+			continue // reuse the buffer for the next record
 		}
 		s.X = append(s.X, x)
 		s.Hours = append(s.Hours, trace[i].Hour)
+		x = nil
 	}
 	return s
 }
@@ -169,10 +253,16 @@ type MultiVoting struct {
 	Voters []int
 	// Threshold is the per-sample vote cut.
 	Threshold float64
+	// Workers caps the goroutines used to score the samples (≤ 1 scores
+	// serially). Any worker count yields identical alarms: every sample's
+	// score lands at its own index before the vote sweep runs.
+	Workers int
 }
 
 // DetectAll returns, for each configured window size, the index of the
-// first alarm (-1 = none), in the same order as Voters.
+// first alarm (-1 = none), in the same order as Voters. Samples are
+// scored through the model's batch path when available, fanned across up
+// to Workers goroutines.
 func (m *MultiVoting) DetectAll(xs [][]float64) []int {
 	out := make([]int, len(m.Voters))
 	for i := range out {
@@ -181,11 +271,13 @@ func (m *MultiVoting) DetectAll(xs [][]float64) []int {
 	if len(m.Voters) == 0 {
 		return out
 	}
+	scores := make([]float64, len(xs))
+	scoreInto(m.Model, xs, scores, m.Workers)
 	// Prefix counts of failed votes: fails[i] = #failed among xs[:i].
 	fails := make([]int, len(xs)+1)
-	for i, x := range xs {
+	for i, s := range scores {
 		fails[i+1] = fails[i]
-		if m.Model.Predict(x) < m.Threshold {
+		if s < m.Threshold {
 			fails[i+1]++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hddcart/internal/ann"
 	"hddcart/internal/cart"
@@ -211,6 +212,11 @@ func (e *Env) forEachTrace(drives []simulate.Drive, fn func(d simulate.Drive, tr
 // (after the trainFrac cutoff), failed drives over their whole recorded
 // trace. Outcomes accumulate into counter. Only failed drives in the test
 // split (per splitSeed) are scanned; good drives are all scanned.
+//
+// Workers scan drives concurrently but each drive's outcome is recorded at
+// its own index and folded into counter serially in drive order, so the
+// counter's contents (including the order of its time-in-advance samples)
+// are identical for every worker count.
 func (e *Env) scanDrives(
 	drives []simulate.Drive,
 	features smart.FeatureSet,
@@ -220,18 +226,39 @@ func (e *Env) scanDrives(
 	splitSeed int64,
 	counter *eval.Counter,
 ) {
+	scan := make([]simulate.Drive, 0, len(drives))
+	for _, d := range drives {
+		if d.Failed && dataset.IsTrainFailedDrive(splitSeed, d.Index, 0.7) {
+			continue // training-split failed drive
+		}
+		scan = append(scan, d)
+	}
+	type result struct {
+		scanned bool
+		failed  bool
+		out     detect.Outcome
+	}
+	results := make([]result, len(scan))
 	workers := e.cfg.Workers
+	if workers > len(scan) {
+		workers = len(scan)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan simulate.Drive)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for d := range work {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scan) {
+					return
+				}
+				d := scan[i]
 				trace := e.fleet.Trace(d.Index)
 				if d.Failed {
 					s := detect.ExtractSeries(features, trace, 0, len(trace))
-					counter.AddFailed(detect.Scan(det, s, d.FailHour))
+					results[i] = result{scanned: true, failed: true, out: detect.Scan(det, s, d.FailHour)}
 					continue
 				}
 				from, to, ok := dataset.TestStart(trace, periodStart, periodEnd, trainFrac)
@@ -239,18 +266,20 @@ func (e *Env) scanDrives(
 					continue
 				}
 				s := detect.ExtractSeries(features, trace, from, to)
-				counter.AddGood(detect.Scan(det, s, -1).Alarmed)
+				results[i] = result{scanned: true, out: detect.Scan(det, s, -1)}
 			}
 		}()
 	}
-	for _, d := range drives {
-		if d.Failed && dataset.IsTrainFailedDrive(splitSeed, d.Index, 0.7) {
-			continue // training-split failed drive
-		}
-		work <- d
-	}
-	close(work)
 	wg.Wait()
+	for _, r := range results {
+		switch {
+		case !r.scanned:
+		case r.failed:
+			counter.AddFailed(r.out)
+		default:
+			counter.AddGood(r.out.Alarmed)
+		}
+	}
 }
 
 // trainingSet assembles the paper's standard training set for one family:

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hddcart/internal/dataset"
 	"hddcart/internal/detect"
@@ -115,7 +116,8 @@ func (e *Env) updatingModels(family string) (*updatingModelSet, error) {
 			if err != nil {
 				return nil, fmt.Errorf("updating CT weeks %d-%d: %w", wr.start, wr.end, err)
 			}
-			set.ct[wr] = tree
+			// Scans only score the model, so store the compiled form.
+			set.ct[wr] = tree.Compile()
 			netDS, err := b.net.Finalize()
 			if err != nil {
 				return nil, err
@@ -154,6 +156,9 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 		}
 		features := smart.CriticalFeatures()
 		plans := update.Plans()
+		// Fixed kind order keeps the evaluation schedule (and any future
+		// order-sensitive fold) deterministic; maps iterate randomly.
+		kindNames := []string{"CT", "BP ANN"}
 		kinds := map[string]map[weekRange]detect.Predictor{"CT": models.ct, "BP ANN": models.net}
 
 		res := &updatingResults{
@@ -161,7 +166,7 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 			fdr: make(map[string]map[weekRange]eval.Result),
 		}
 		counters := make(map[string]map[update.Plan]map[int]*eval.Counter)
-		for kind := range kinds {
+		for _, kind := range kindNames {
 			counters[kind] = make(map[update.Plan]map[int]*eval.Counter)
 			for _, p := range plans {
 				counters[kind][p] = make(map[int]*eval.Counter)
@@ -172,15 +177,39 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 		}
 
 		// FAR: one parallel pass over good drives, scanning each week's
-		// test samples with every (kind, plan) model for that week.
+		// test samples with every (kind, plan) model for that week. Each
+		// drive's verdicts land at its own index; the fold into the
+		// counters runs serially in drive order.
+		var good []simulate.Drive
+		for _, d := range e.fleet.DrivesOf(family) {
+			if !d.Failed {
+				good = append(good, d)
+			}
+		}
+		type verdict struct {
+			kind    string
+			plan    update.Plan
+			week    int
+			alarmed bool
+		}
+		verdicts := make([][]verdict, len(good))
+		workers := e.cfg.Workers
+		if workers > len(good) {
+			workers = len(good)
+		}
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		work := make(chan simulate.Drive)
-		for i := 0; i < e.cfg.Workers; i++ {
+		for i := 0; i < workers; i++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for d := range work {
-					trace := e.fleet.Trace(d.Index)
+				for {
+					di := int(next.Add(1)) - 1
+					if di >= len(good) {
+						return
+					}
+					trace := e.fleet.Trace(good[di].Index)
+					var vs []verdict
 					for w := 2; w <= lastWeek; w++ {
 						start := (w - 1) * simulate.HoursPerWeek
 						end := w * simulate.HoursPerWeek
@@ -189,7 +218,8 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 							continue
 						}
 						series := detect.ExtractSeries(features, trace, from, to)
-						for kind, byRange := range kinds {
+						for _, kind := range kindNames {
+							byRange := kinds[kind]
 							for _, p := range plans {
 								s, en, _, err := p.TrainWeeks(w)
 								if err != nil {
@@ -197,22 +227,22 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 								}
 								det := &detect.Voting{Model: byRange[weekRange{s, en}], Voters: 11}
 								out := detect.Scan(det, series, -1)
-								counters[kind][p][w].AddGood(out.Alarmed)
+								vs = append(vs, verdict{kind, p, w, out.Alarmed})
 							}
 						}
 					}
+					verdicts[di] = vs
 				}
 			}()
 		}
-		for _, d := range e.fleet.DrivesOf(family) {
-			if !d.Failed {
-				work <- d
+		wg.Wait()
+		for _, vs := range verdicts {
+			for _, v := range vs {
+				counters[v.kind][v.plan][v.week].AddGood(v.alarmed)
 			}
 		}
-		close(work)
-		wg.Wait()
 
-		for kind := range kinds {
+		for _, kind := range kindNames {
 			res.far[kind] = make(map[update.Plan]map[int]eval.Result)
 			for _, p := range plans {
 				res.far[kind][p] = make(map[int]eval.Result)
@@ -227,7 +257,8 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 		if err != nil {
 			return nil, err
 		}
-		for kind, byRange := range kinds {
+		for _, kind := range kindNames {
+			byRange := kinds[kind]
 			res.fdr[kind] = make(map[weekRange]eval.Result)
 			for _, wr := range ranges {
 				var c eval.Counter
@@ -244,28 +275,44 @@ func (e *Env) runUpdating(family string) (*updatingResults, error) {
 	return v.(*updatingResults), nil
 }
 
-// scanFailedOnly scans only the failed test drives of a family.
+// scanFailedOnly scans only the failed test drives of a family. Drives are
+// scanned in parallel; outcomes fold into the counter serially in drive
+// order, so its time-in-advance samples are identically ordered for every
+// worker count.
 func (e *Env) scanFailedOnly(family string, features smart.FeatureSet, det detect.Detector, c *eval.Counter) {
+	var failed []simulate.Drive
+	for _, d := range e.fleet.DrivesOf(family) {
+		if d.Failed && !dataset.IsTrainFailedDrive(e.cfg.Seed, d.Index, 0.7) {
+			failed = append(failed, d)
+		}
+	}
+	outs := make([]detect.Outcome, len(failed))
+	workers := e.cfg.Workers
+	if workers > len(failed) {
+		workers = len(failed)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan simulate.Drive)
-	for i := 0; i < e.cfg.Workers; i++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for d := range work {
+			for {
+				di := int(next.Add(1)) - 1
+				if di >= len(failed) {
+					return
+				}
+				d := failed[di]
 				trace := e.fleet.Trace(d.Index)
 				s := detect.ExtractSeries(features, trace, 0, len(trace))
-				c.AddFailed(detect.Scan(det, s, d.FailHour))
+				outs[di] = detect.Scan(det, s, d.FailHour)
 			}
 		}()
 	}
-	for _, d := range e.fleet.DrivesOf(family) {
-		if d.Failed && !dataset.IsTrainFailedDrive(e.cfg.Seed, d.Index, 0.7) {
-			work <- d
-		}
-	}
-	close(work)
 	wg.Wait()
+	for _, out := range outs {
+		c.AddFailed(out)
+	}
 }
 
 // updatingReport renders one of Figs. 6–9.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hddcart/internal/ann"
 	"hddcart/internal/cart"
@@ -52,7 +53,10 @@ func (e *Env) standardModels(family string) (*cart.Tree, *ann.Network, error) {
 
 // votingCurve sweeps the voter count for one model on one family. All
 // window sizes are evaluated in a single pass over the fleet (each trace
-// generated and scored once) via detect.MultiVoting.
+// generated and scored once) via detect.MultiVoting. Drives are scanned in
+// parallel but each drive's outcomes land at its own index and fold into
+// the counters serially in drive order, so the curve is identical for
+// every worker count.
 func (e *Env) votingCurve(family string, model detect.Predictor, voters []int) eval.Curve {
 	features := smart.CriticalFeatures()
 	counters := make([]*eval.Counter, len(voters))
@@ -61,19 +65,34 @@ func (e *Env) votingCurve(family string, model detect.Predictor, voters []int) e
 	}
 	multi := &detect.MultiVoting{Model: model, Voters: voters}
 
+	scan := make([]simulate.Drive, 0)
+	for _, d := range e.fleet.DrivesOf(family) {
+		if d.Failed && dataset.IsTrainFailedDrive(e.cfg.Seed, d.Index, 0.7) {
+			continue
+		}
+		scan = append(scan, d)
+	}
+	outs := make([][]detect.Outcome, len(scan))
+	workers := e.cfg.Workers
+	if workers > len(scan) {
+		workers = len(scan)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan simulate.Drive)
-	for w := 0; w < e.cfg.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for d := range work {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scan) {
+					return
+				}
+				d := scan[i]
 				trace := e.fleet.Trace(d.Index)
 				if d.Failed {
 					s := detect.ExtractSeries(features, trace, 0, len(trace))
-					for i, out := range multi.ScanAll(s, d.FailHour) {
-						counters[i].AddFailed(out)
-					}
+					outs[i] = multi.ScanAll(s, d.FailHour)
 					continue
 				}
 				from, to, ok := dataset.TestStart(trace, 0, simulate.HoursPerWeek, 0.7)
@@ -81,20 +100,23 @@ func (e *Env) votingCurve(family string, model detect.Predictor, voters []int) e
 					continue
 				}
 				s := detect.ExtractSeries(features, trace, from, to)
-				for i, out := range multi.ScanAll(s, -1) {
-					counters[i].AddGood(out.Alarmed)
-				}
+				outs[i] = multi.ScanAll(s, -1)
 			}
 		}()
 	}
-	for _, d := range e.fleet.DrivesOf(family) {
-		if d.Failed && dataset.IsTrainFailedDrive(e.cfg.Seed, d.Index, 0.7) {
+	wg.Wait()
+	for di, dOuts := range outs {
+		if dOuts == nil {
 			continue
 		}
-		work <- d
+		for i, out := range dOuts {
+			if scan[di].Failed {
+				counters[i].AddFailed(out)
+			} else {
+				counters[i].AddGood(out.Alarmed)
+			}
+		}
 	}
-	close(work)
-	wg.Wait()
 
 	var curve eval.Curve
 	for i, n := range voters {
@@ -112,7 +134,7 @@ func (e *Env) Figure2() (*Report, error) {
 		return nil, err
 	}
 	voters := []int{1, 3, 5, 7, 9, 11, 15, 17, 27}
-	ctCurve := e.votingCurve("W", tree, voters)
+	ctCurve := e.votingCurve("W", tree.Compile(), voters)
 	annCurve := e.votingCurve("W", net, voters)
 	r.addf("CT model:")
 	for _, line := range curveLines(ctCurve) {
@@ -168,7 +190,7 @@ func (e *Env) Figure4() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	curve := e.votingCurve("W", tree, []int{27})
+	curve := e.votingCurve("W", tree.Compile(), []int{27})
 	tiaHistogramReport(r, curve[0].Result)
 	return r, nil
 }
@@ -183,7 +205,7 @@ func (e *Env) Figure5() (*Report, error) {
 		return nil, err
 	}
 	voters := []int{1, 3, 5, 11, 17}
-	ctCurve := e.votingCurve("Q", tree, voters)
+	ctCurve := e.votingCurve("Q", tree.Compile(), voters)
 	annCurve := e.votingCurve("Q", net, voters)
 	r.addf("CT model:")
 	for _, line := range curveLines(ctCurve) {

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"hddcart/internal/detect"
+	"hddcart/internal/eval"
+	"hddcart/internal/simulate"
+	"hddcart/internal/smart"
+)
+
+// TestScanResultsWorkerIndependent proves the fleet-scan paths — the
+// generic scanDrives, the multi-window votingCurve and the failed-only
+// scan — produce identical results (including the order of time-in-advance
+// samples) for every worker count. Training is already provably
+// worker-independent; this pins the evaluation side down too.
+func TestScanResultsWorkerIndependent(t *testing.T) {
+	features := smart.CriticalFeatures()
+	var base string
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		cfg.ANNEpochs = 10
+		env, err := NewEnv(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, net, err := env.standardModels("W")
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled := tree.Compile()
+
+		ctCurve := env.votingCurve("W", compiled, []int{1, 5, 11})
+		annCurve := env.votingCurve("W", net, []int{5})
+
+		var c eval.Counter
+		env.scanDrives(env.Fleet().DrivesOf("W"), features,
+			&detect.Voting{Model: compiled, Voters: 11},
+			0, simulate.HoursPerWeek, 0.7, cfg.Seed, &c)
+
+		var fc eval.Counter
+		env.scanFailedOnly("W", features, &detect.Voting{Model: compiled, Voters: 11}, &fc)
+
+		repr := fmt.Sprintf("%+v || %+v || %+v || %+v",
+			ctCurve, annCurve, c.Result(), fc.Result())
+		if base == "" {
+			base = repr
+		} else if repr != base {
+			t.Fatalf("workers=%d diverged:\n%s\nwant:\n%s", workers, repr, base)
+		}
+	}
+}

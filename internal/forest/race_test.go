@@ -1,0 +1,8 @@
+//go:build race
+
+package forest
+
+// raceEnabled reports that this build runs under the race detector, whose
+// sync.Pool intentionally drops items to diversify schedules — so pooled
+// paths can't promise zero allocations there and the alloc tests skip.
+const raceEnabled = true

@@ -39,6 +39,8 @@ type MonitorConfig struct {
 // Monitor is not safe for concurrent use; wrap it with a mutex if needed.
 type Monitor struct {
 	cfg     MonitorConfig
+	model   Predictor // compiled form of cfg.Model (bit-identical scores)
+	x       []float64 // feature scratch, reused across Observe calls
 	drives  map[string]*monitoredDrive
 	queue   health.Queue
 	warned  map[string]bool
@@ -82,6 +84,8 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	return &Monitor{
 		cfg:     cfg,
+		model:   CompileModel(cfg.Model),
+		x:       make([]float64, len(cfg.Features)),
 		drives:  make(map[string]*monitoredDrive),
 		warned:  make(map[string]bool),
 		serials: make(map[int]string),
@@ -110,11 +114,13 @@ func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
 	}
 	d.history = d.history[trim:]
 
-	x := make([]float64, len(m.cfg.Features))
-	if !m.cfg.Features.Extract(d.history, len(d.history)-1, x) {
+	// Features land in the monitor's scratch buffer: it is fully
+	// overwritten per observation and only its scalar score is retained,
+	// so Observe stays allocation-free in steady state.
+	if !m.cfg.Features.Extract(d.history, len(d.history)-1, m.x) {
 		return MonitorWarning{}, false // not enough history for change rates yet
 	}
-	score := m.cfg.Model.Predict(x)
+	score := m.model.Predict(m.x)
 
 	d.scores = append(d.scores, score)
 	if score < m.cfg.Threshold {
