@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -119,11 +120,23 @@ func parseBenchLine(line string) (*oneRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad iteration count %q: %w", fields[1], err)
 	}
+	if iters <= 0 {
+		// A zero or negative b.N never comes out of a healthy `go test`
+		// run (-count=0 produces no lines at all); folding it into the
+		// medians would silently skew them.
+		return nil, fmt.Errorf("non-positive iteration count %d", iters)
+	}
 	run := &oneRun{name: name, iterations: iters, metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad metric value %q: %w", fields[i], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// ParseFloat accepts "NaN" and "Inf", but a non-finite metric
+			// would poison the medians and make the JSON encoder fail far
+			// from the offending line.
+			return nil, fmt.Errorf("non-finite metric value %q %s", fields[i], fields[i+1])
 		}
 		run.metrics[fields[i+1]] = v
 	}

@@ -74,10 +74,41 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"BenchmarkX 12 34",            // odd trailing fields
 		"BenchmarkX notanint 1 ns/op", // bad iteration count
 		"BenchmarkX 12 nan? ns/op no", // bad metric value arity
+		// Truncated result lines, as left by a killed `go test` or a cut
+		// pipe: name only, name+count only, and a dangling metric value.
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX 12 34.5",
+		// Non-finite metric values: ParseFloat accepts these spellings,
+		// but they must not reach the medians or the JSON encoder.
+		"BenchmarkX 12 NaN ns/op",
+		"BenchmarkX 12 Inf ns/op",
+		"BenchmarkX 12 -Inf ns/op",
+		"BenchmarkX 12 34 ns/op\nBenchmarkX 15 nan ns/op",
+		// Zero or negative b.N (never produced by a healthy run).
+		"BenchmarkX 0 34 ns/op",
+		"BenchmarkX -3 34 ns/op",
 	} {
 		if _, err := Parse(strings.NewReader(bad)); err == nil {
 			t.Errorf("Parse(%q): expected error", bad)
 		}
+	}
+}
+
+// TestParseErrorsCarryLineNumbers pins the error form: a malformed line
+// deep in a file must be reported by its line number, not by a panic or
+// a downstream JSON failure.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	in := "goos: linux\nBenchmarkOK 10 5.0 ns/op\nBenchmarkBad 10 NaN ns/op\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected error for NaN metric")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("error %q does not name the offending value", err)
 	}
 }
 

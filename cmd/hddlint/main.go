@@ -1,0 +1,91 @@
+// Command hddlint is hddcart's multichecker: it runs the internal/lint
+// analyzers — maporder, seededrand, hotalloc, floateq, nakedgo — over
+// every non-test package of the module and exits nonzero on any
+// finding. With -vet it also runs `go vet ./...` first, so one command
+// covers both the stock and the repo-specific invariants.
+//
+// Usage:
+//
+//	go run ./cmd/hddlint ./...
+//	go run ./cmd/hddlint -vet ./...
+//
+// Package patterns are accepted for familiarity but the whole module is
+// always linted: the invariants are global properties (a nondeterministic
+// merge in any package breaks every downstream consumer), so there is no
+// meaningful partial run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"hddcart/internal/lint"
+)
+
+func main() {
+	vet := flag.Bool("vet", false, "also run `go vet ./...` before the hddlint analyzers")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", "vet", "./...")
+		cmd.Dir = root
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.RunAll(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 || failed {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the directory
+// holding go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("hddlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hddlint:", err)
+	os.Exit(1)
+}

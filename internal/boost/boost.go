@@ -105,7 +105,7 @@ func Train(x [][]float64, y, w []float64, cfg Config) (*Ensemble, error) {
 		// so chunking cannot change them.
 		parallelChunks(n, cfg.Workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				mis[i] = tree.Predict(x[i]) != y[i]
+				mis[i] = !sameLabel(tree.Predict(x[i]), y[i])
 			}
 		})
 		// Weighted error of this learner, summed serially in sample
@@ -196,7 +196,7 @@ func (e *Ensemble) Predict(x []float64) float64 {
 		score += e.Alphas[i] * t.Predict(x)
 		total += e.Alphas[i]
 	}
-	if total == 0 {
+	if exactZero(total) {
 		return 0
 	}
 	return score / total

@@ -35,7 +35,7 @@ func (c *Compiled) Predict(x []float64) float64 {
 		score += c.Alphas[i] * t.Predict(x)
 		total += c.Alphas[i]
 	}
-	if total == 0 {
+	if exactZero(total) {
 		return 0
 	}
 	return score / total
@@ -47,8 +47,11 @@ func (c *Compiled) PredictFailed(x []float64) bool { return c.Predict(x) < 0 }
 // PredictBatch scores a block of feature vectors into dst and returns it
 // (nil or short dst allocates; a caller-provided len(xs) buffer keeps the
 // path allocation-free). dst[i] equals Predict(xs[i]) exactly.
+//
+//hddlint:noalloc
 func (c *Compiled) PredictBatch(xs [][]float64, dst []float64) []float64 {
 	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
 		dst = make([]float64, len(xs))
 	}
 	dst = dst[:len(xs)]

@@ -1,0 +1,17 @@
+package boost
+
+// Naked float equality is banned here by hddlint's floateq analyzer;
+// the comparisons where exact equality is the semantics funnel through
+// these annotated helpers (see cart/floatcmp.go for the rationale).
+
+// sameLabel reports whether two classification labels are the same
+// class.
+//
+//hddlint:floatcmp class labels are stored and predicted as exactly ±1, never computed, so equality is exact by construction
+func sameLabel(a, b float64) bool { return a == b }
+
+// exactZero reports whether v is exactly zero — the guard against
+// dividing by an all-zero alpha total.
+//
+//hddlint:floatcmp alphas are nonnegative, so a zero total means "no weighted learners", a sentinel rather than a near-zero accumulation
+func exactZero(v float64) bool { return v == 0 }

@@ -85,16 +85,16 @@ func (p Params) withDefaults() Params {
 	if p.MinBucket == 0 {
 		p.MinBucket = 7
 	}
-	if p.CP == 0 {
+	if exactZero(p.CP) {
 		p.CP = 0.001
 	}
 	if p.MaxDepth == 0 {
 		p.MaxDepth = 30
 	}
-	if p.LossFA == 0 {
+	if exactZero(p.LossFA) {
 		p.LossFA = 1
 	}
-	if p.LossMiss == 0 {
+	if exactZero(p.LossMiss) {
 		p.LossMiss = 1
 	}
 	if p.Workers == 0 {

@@ -253,6 +253,8 @@ var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 // sees exactly the comparisons x[feature] < threshold along its own
 // root-to-leaf path (NaN inputs compare false and descend right, as in the
 // pointer tree), and each dst[i] is touched exactly once.
+//
+//hddlint:noalloc
 func (c *CompiledTree) scoreBatch(xs [][]float64, dst, payload []float64, add bool) {
 	if c.nodes == nil || len(xs) < minPartitionBatch {
 		// Hand-assembled trees without the sealed layout walk the arrays;
@@ -306,6 +308,8 @@ func (c *CompiledTree) scoreBatch(xs [][]float64, dst, payload []float64, add bo
 // the caller re-runs it through the per-sample walk, which panics on the
 // short row only if a sample actually routes through the big split,
 // exactly as the pointer tree would.
+//
+//hddlint:noalloc
 func (c *CompiledTree) scorePartitioned(xs [][]float64, dst, payload []float64, add bool) bool {
 	n := len(xs)
 	feat, thr := c.Feature, c.Threshold
@@ -325,8 +329,11 @@ func (c *CompiledTree) scorePartitioned(xs [][]float64, dst, payload []float64, 
 
 	sc := batchScratchPool.Get().(*batchScratch)
 	if cap(sc.cur) < n {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows to the high-water batch size once, then every Get reuses it
 		sc.cur = make([]int32, n)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
 		sc.next = make([]int32, n)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
 		sc.rows = make([]unsafe.Pointer, n)
 	}
 	rows := sc.rows[:n]
@@ -349,12 +356,15 @@ func (c *CompiledTree) scorePartitioned(xs [][]float64, dst, payload []float64, 
 // root: cur[:rootLeft] holds the left-goers, cur[rootLeft:n] the
 // right-goers, and rows (via rp) the validated row pointers. It delivers
 // (or accumulates, with add) every sample's leaf payload into dst.
+//
+//hddlint:noalloc
 func (c *CompiledTree) runSegments(sc *batchScratch, rp unsafe.Pointer,
 	dst, payload []float64, rootLeft, n int, add bool) {
 	feat, thr := c.Feature, c.Threshold
 	left, right := c.Left, c.Right
 	cur, next := sc.cur[:n], sc.next[:n]
 	stack := sc.stack[:0]
+	//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
 	stack = append(stack,
 		segment{node: right[0], lo: int32(rootLeft), hi: int32(n)},
 		segment{node: left[0], lo: 0, hi: int32(rootLeft)})
@@ -405,6 +415,7 @@ func (c *CompiledTree) runSegments(sc *batchScratch, rp unsafe.Pointer,
 		nl := partitionSeg(unsafe.Pointer(&src[sg.lo]), unsafe.Pointer(&out[sg.lo]),
 			len(seg), rp, uintptr(feat[node])*8, thr[node])
 		mid := sg.lo + int32(nl)
+		//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
 		stack = append(stack,
 			segment{node: right[node], lo: mid, hi: sg.hi, flipped: !sg.flipped},
 			segment{node: left[node], lo: sg.lo, hi: mid, flipped: !sg.flipped})
@@ -424,6 +435,7 @@ func (c *CompiledTree) runSegments(sc *batchScratch, rp unsafe.Pointer,
 // doubling the per-sample cost.
 //
 //go:noinline
+//hddlint:noalloc
 func partitionRoot(xs [][]float64, rows []unsafe.Pointer, outp unsafe.Pointer,
 	need int, foff uintptr, t float64) (int, bool) {
 	l, m := 0, len(xs)-1
@@ -453,6 +465,7 @@ func partitionRoot(xs [][]float64, rows []unsafe.Pointer, outp unsafe.Pointer,
 // validated and gathered at the root.
 //
 //go:noinline
+//hddlint:noalloc
 func partitionSeg(srcp, outp unsafe.Pointer, n int, rp unsafe.Pointer, foff uintptr, t float64) int {
 	l, m := 0, n-1
 	for k := 0; k < n; k++ {
@@ -476,6 +489,7 @@ func partitionSeg(srcp, outp unsafe.Pointer, n int, rp unsafe.Pointer, foff uint
 // the loop stays branch-free like the partition kernels.
 //
 //go:noinline
+//hddlint:noalloc
 func leafPairSeg(srcp unsafe.Pointer, n int, rp unsafe.Pointer, foff uintptr, t float64,
 	dstp, payp unsafe.Pointer, add bool) {
 	if add {
@@ -507,6 +521,8 @@ func leafPairSeg(srcp unsafe.Pointer, n int, rp unsafe.Pointer, foff uintptr, t 
 // feature loads are safe for the same reason the partition kernels' are:
 // every row was validated against needLen at the root, and needLen covers
 // every feature any split reads.
+//
+//hddlint:noalloc
 func walkSeg(nodes []packedNode, seg []int32, rp unsafe.Pointer,
 	dst, payload []float64, node int32, add bool) {
 	for _, idx := range seg {
@@ -536,6 +552,8 @@ func walkSeg(nodes []packedNode, seg []int32, rp unsafe.Pointer,
 // A nil or short dst is replaced by a fresh slice; passing a len(xs)
 // buffer makes the steady-state path allocation-free. dst[i] equals
 // Predict(xs[i]) exactly.
+//
+//hddlint:noalloc
 func (c *CompiledTree) PredictBatch(xs [][]float64, dst []float64) []float64 {
 	dst = sizeBuf(dst, len(xs))
 	c.scoreBatch(xs, dst, c.Value, false)
@@ -549,6 +567,8 @@ func (c *CompiledTree) PredictBatch(xs [][]float64, dst []float64) []float64 {
 // dst[i] receives exactly one += per call, so calling it once per tree in
 // ensemble order reproduces the pointer ensemble's sample-major sum to the
 // last bit.
+//
+//hddlint:noalloc
 func (c *CompiledTree) PredictBatchAdd(xs [][]float64, dst []float64) {
 	c.scoreBatch(xs, dst[:len(xs)], c.Value, true)
 }
@@ -560,6 +580,8 @@ func (c *CompiledTree) PredictBatchAdd(xs [][]float64, dst []float64) {
 // pointers once for the whole ensemble instead of once per tree. The
 // accumulation order per sample is identical, so results still match the
 // pointer ensemble bit for bit.
+//
+//hddlint:noalloc
 func AccumulateBatch(trees []*CompiledTree, xs [][]float64, dst []float64) {
 	if len(trees) == 0 || len(xs) == 0 {
 		return
@@ -594,15 +616,21 @@ func AccumulateBatch(trees []*CompiledTree, xs [][]float64, dst []float64) {
 // rows are validated and gathered once, then each tree root-partitions the
 // shared identity order and drains its segments, folding leaf values onto
 // dst inside the delivery pass.
+//
+//hddlint:noalloc
 func accumulatePartitioned(trees []*CompiledTree, xs [][]float64, dst []float64, need int) bool {
 	n := len(xs)
 	sc := batchScratchPool.Get().(*batchScratch)
 	if cap(sc.cur) < n {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows to the high-water batch size once, then every Get reuses it
 		sc.cur = make([]int32, n)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
 		sc.next = make([]int32, n)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
 		sc.rows = make([]unsafe.Pointer, n)
 	}
 	if cap(sc.order) < n {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
 		sc.order = make([]int32, n)
 		for i := range sc.order {
 			sc.order[i] = int32(i)
@@ -636,6 +664,7 @@ func accumulatePartitioned(trees []*CompiledTree, xs [][]float64, dst []float64,
 // data pointers; a short row aborts with false.
 //
 //go:noinline
+//hddlint:noalloc
 func gatherRows(xs [][]float64, rows []unsafe.Pointer, need int) bool {
 	for k, row := range xs {
 		if len(row) < need {
@@ -648,6 +677,8 @@ func gatherRows(xs [][]float64, rows []unsafe.Pointer, need int) bool {
 
 // ProbFailedBatch fills dst with per-sample failed probabilities (NaN for
 // regression trees), matching ProbFailed exactly.
+//
+//hddlint:noalloc
 func (c *CompiledTree) ProbFailedBatch(xs [][]float64, dst []float64) []float64 {
 	dst = sizeBuf(dst, len(xs))
 	if c.Kind != Classification {

@@ -213,3 +213,29 @@ func FuzzCompiledTreeEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// TestAccumulatePathsNoAlloc proves the //hddlint:noalloc contract for
+// the ensemble accumulation kernels: with caller-supplied buffers,
+// PredictBatchAdd and AccumulateBatch are allocation-free in steady
+// state (the pooled scratch grows once, outside the measured runs).
+func TestAccumulatePathsNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool sheds items under the race detector")
+	}
+	x, y, w := synthClassification(9, 400, 5)
+	tree, err := TrainClassifier(x, y, w, Params{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compile()
+	trees := []*CompiledTree{ct, ct, ct}
+	dst := make([]float64, len(x))
+	allocs := testing.AllocsPerRun(20, func() { ct.PredictBatchAdd(x, dst) })
+	if allocs != 0 {
+		t.Fatalf("PredictBatchAdd allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() { AccumulateBatch(trees, x, dst) })
+	if allocs != 0 {
+		t.Fatalf("AccumulateBatch allocated %.0f times per run", allocs)
+	}
+}

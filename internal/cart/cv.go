@@ -238,7 +238,7 @@ func runFold(x [][]float64, y, w []float64, fold []int, f int,
 			pred := work.Predict(x[i])
 			switch kind {
 			case Classification:
-				if pred != y[i] {
+				if !sameLabel(pred, y[i]) {
 					cost := p.LossMiss
 					if y[i] > 0 {
 						cost = p.LossFA // good sample flagged failed

@@ -1,0 +1,27 @@
+package cart
+
+// Exact float comparison (==/!=) is banned on the determinism-critical
+// paths by hddlint's floateq analyzer: two mathematically equal
+// accumulations can differ in the last ulp, so naked equality is almost
+// always a latent bug. The few comparisons where exact equality IS the
+// semantics funnel through these annotated helpers, keeping every such
+// site auditable with one grep for hddlint:floatcmp.
+
+// sameLabel reports whether two classification labels are the same
+// class.
+//
+//hddlint:floatcmp class labels are stored and predicted as exactly ±1 (validated at training time), never computed, so equality is exact by construction
+func sameLabel(a, b float64) bool { return a == b }
+
+// sameValue reports whether two stored values are identical — value
+// identity, not numeric closeness.
+//
+//hddlint:floatcmp operands are copies of the same stored values (sorted feature columns, leaf payloads), so this tests identity, not the result of arithmetic
+func sameValue(a, b float64) bool { return a == b }
+
+// exactZero reports whether v is exactly zero — the documented "unset"
+// sentinel for config fields and the guard against dividing by a zero
+// total.
+//
+//hddlint:floatcmp zero is a sentinel (unset config field / empty total), not the result of arithmetic that could land near zero
+func exactZero(v float64) bool { return v == 0 }

@@ -66,7 +66,7 @@ func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
 		if w[i] < 0 {
 			return nil, fmt.Errorf("cart: negative weight at row %d", i)
 		}
-		if kind == Classification && y[i] != 1 && y[i] != -1 {
+		if kind == Classification && !sameLabel(y[i], 1) && !sameLabel(y[i], -1) {
 			return nil, fmt.Errorf("cart: classification target %v at row %d (want ±1)", y[i], i)
 		}
 	}
@@ -443,7 +443,7 @@ func (g *grower) bestSplitFeature(order []int32, f int, all nodeStats, parentMas
 			left.sumWY2 += wy * g.y[i]
 		}
 		v, next := g.x[i][f], g.x[order[cut]][f]
-		if v == next {
+		if sameValue(v, next) {
 			continue // not a boundary between distinct values
 		}
 		if left.n < g.p.MinBucket || len(order)-left.n < g.p.MinBucket {

@@ -26,7 +26,7 @@ func pruneNode(n *Node, cp float64) {
 	// A split whose children both predict the same value adds nothing
 	// either (this happens when pruning removed the children's own
 	// structure); collapse it to keep trees minimal and readable.
-	if n.Left.IsLeaf() && n.Right.IsLeaf() && n.Left.Value == n.Right.Value {
+	if n.Left.IsLeaf() && n.Right.IsLeaf() && sameValue(n.Left.Value, n.Right.Value) {
 		n.Left, n.Right = nil, nil
 		n.Gain = 0
 	}

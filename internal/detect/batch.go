@@ -50,6 +50,11 @@ func scoreInto(model Predictor, xs [][]float64, dst []float64, workers int) {
 	wg.Wait()
 }
 
+// scoreChunk scores one contiguous chunk through the batch path when
+// available, else sample by sample; with a caller-provided dst it is
+// allocation-free either way.
+//
+//hddlint:noalloc
 func scoreChunk(model Predictor, bp BatchPredictor, batched bool, xs [][]float64, dst []float64) {
 	if batched {
 		bp.PredictBatch(xs, dst)

@@ -120,3 +120,23 @@ func TestScanBatchDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestScoreChunkNoAlloc proves the //hddlint:noalloc contract for the
+// chunk scorer: with a caller-supplied dst, both the batch and the
+// streaming paths score without allocating.
+func TestScoreChunkNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	xs := randomSeries(5, 1024)
+	dst := make([]float64, len(xs))
+	bm := batchScoreModel{}
+	allocs := testing.AllocsPerRun(50, func() { scoreChunk(bm, bm, true, xs, dst) })
+	if allocs != 0 {
+		t.Fatalf("batched scoreChunk allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() { scoreChunk(scoreModel{}, nil, false, xs, dst) })
+	if allocs != 0 {
+		t.Fatalf("streaming scoreChunk allocated %.0f times per run", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package detect
+
+// raceEnabled reports that this build runs under the race detector, whose
+// instrumentation perturbs sync.Pool reuse and allocation counts.
+const raceEnabled = true

@@ -180,7 +180,7 @@ func (c Curve) AUC() float64 {
 		area += dx * (pts[i].Result.FDR() + pts[i-1].Result.FDR()) / 2
 		span += dx
 	}
-	if span == 0 {
+	if exactZero(span) {
 		return 0
 	}
 	return area / span

@@ -1,0 +1,8 @@
+package eval
+
+// exactZero reports whether v is exactly zero — the guard against
+// dividing by a zero span/total. Naked float equality is banned here by
+// hddlint's floateq analyzer; see cart/floatcmp.go for the rationale.
+//
+//hddlint:floatcmp zero guards division (0-width FAR span means "no curve"); a near-zero span is a legitimate tiny denominator, only exact zero is invalid
+func exactZero(v float64) bool { return v == 0 }

@@ -40,10 +40,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.GoodScale == 0 {
+	if exactZero(c.GoodScale) {
 		c.GoodScale = 1
 	}
-	if c.FailedScale == 0 {
+	if exactZero(c.FailedScale) {
 		c.FailedScale = 1
 	}
 	if c.Workers == 0 {
@@ -152,8 +152,10 @@ func (r *Report) addROCChart(title string, curves map[string]eval.Curve) {
 	r.Charts = append(r.Charts, chart)
 }
 
-// sortedKeys returns map keys in stable order.
-func sortedKeys(m map[string]eval.Curve) []string {
+// sortedKeys returns map keys in stable order, so callers can iterate
+// string-keyed maps deterministically (hddlint's maporder analyzer
+// rejects order-sensitive map ranges on these paths).
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -36,7 +36,8 @@ func (e *Env) measuredPredictions() (map[string]reliability.Prediction, error) {
 			"BP ANN": &detect.Voting{Model: net, Voters: 11},
 			"RT":     &detect.MeanThreshold{Model: rts.health.Compile(), Voters: 11, Threshold: -0.3},
 		}
-		for name, det := range dets {
+		for _, name := range sortedKeys(dets) {
+			det := dets[name]
 			var c eval.Counter
 			e.scanDrives(e.fleet.DrivesOf("W"), features, det,
 				0, simulate.HoursPerWeek, 0.7, e.cfg.Seed, &c)

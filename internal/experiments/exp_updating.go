@@ -92,7 +92,10 @@ func (e *Env) updatingModels(family string) (*updatingModelSet, error) {
 			builders[wr] = rangeBuilders{ctB, netB}
 		}
 		e.forEachTrace(e.fleet.DrivesOf(family), func(d simulate.Drive, trace []smart.Record) {
-			for _, b := range builders {
+			// Deterministic builder order: iterate the ranges slice, not
+			// the map.
+			for _, wr := range ranges {
+				b := builders[wr]
 				if d.Failed {
 					b.ct.AddFailedDrive(d.Index, d.FailHour, trace)
 					b.net.AddFailedDrive(d.Index, d.FailHour, trace)
@@ -107,7 +110,8 @@ func (e *Env) updatingModels(family string) (*updatingModelSet, error) {
 			ct:  make(map[weekRange]detect.Predictor, len(ranges)),
 			net: make(map[weekRange]detect.Predictor, len(ranges)),
 		}
-		for wr, b := range builders {
+		for _, wr := range ranges {
+			b := builders[wr]
 			ctDS, err := b.ct.Finalize()
 			if err != nil {
 				return nil, err
@@ -352,6 +356,7 @@ func (e *Env) updatingReport(id, kind, family string) (*Report, error) {
 	// FDR summary across model instances (the paper reports CT holding
 	// >90% FDR under every strategy while ANN fluctuates).
 	minFDR, maxFDR := 1.0, 0.0
+	//hddlint:ignore maporder min/max over exact stored values is order-insensitive, so iteration order cannot change the reported range
 	for _, v := range res.fdr[kind] {
 		if f := v.FDR(); f < minFDR {
 			minFDR = f

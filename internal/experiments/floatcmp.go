@@ -1,0 +1,8 @@
+package experiments
+
+// exactZero reports whether v is exactly zero — the documented "unset"
+// sentinel for Config fields. Naked float equality is banned here by
+// hddlint's floateq analyzer; see cart/floatcmp.go for the rationale.
+//
+//hddlint:floatcmp zero is the documented "unset" sentinel for config fields, not the result of arithmetic
+func exactZero(v float64) bool { return v == 0 }

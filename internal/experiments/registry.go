@@ -124,6 +124,7 @@ func (e *Env) Run(ids []string, w io.Writer) error {
 		if len(selected) > 0 && !selected[r.id] {
 			continue
 		}
+		//hddlint:ignore seededrand wall-clock duration feeds only the per-experiment timing line in the report
 		start := time.Now()
 		rep, err := r.run(e)
 		if err != nil {

@@ -76,8 +76,11 @@ var treeScores = sync.Pool{New: func() any {
 // (nil or short dst allocates; a caller-provided len(xs) buffer keeps the
 // path allocation-free). dst[i] equals Predict(xs[i]) exactly: per sample
 // the tree contributions fold in tree order.
+//
+//hddlint:noalloc
 func (c *Compiled) PredictBatch(xs [][]float64, dst []float64) []float64 {
 	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
 		dst = make([]float64, len(xs))
 	}
 	dst = dst[:len(xs)]
@@ -104,8 +107,11 @@ func (c *Compiled) PredictBatch(xs [][]float64, dst []float64) []float64 {
 
 // ProbFailedBatch fills dst with per-sample failed-vote fractions,
 // matching ProbFailed exactly.
+//
+//hddlint:noalloc
 func (c *Compiled) ProbFailedBatch(xs [][]float64, dst []float64) []float64 {
 	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
 		dst = make([]float64, len(xs))
 	}
 	dst = dst[:len(xs)]

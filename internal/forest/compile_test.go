@@ -107,6 +107,9 @@ func TestCompiledForestBatchNoAlloc(t *testing.T) {
 	if allocs := testing.AllocsPerRun(10, func() { c.PredictBatch(x, dst) }); allocs != 0 {
 		t.Fatalf("PredictBatch with caller buffer allocated %.0f times per run", allocs)
 	}
+	if allocs := testing.AllocsPerRun(10, func() { c.ProbFailedBatch(x, dst) }); allocs != 0 {
+		t.Fatalf("ProbFailedBatch with caller buffer allocated %.0f times per run", allocs)
+	}
 }
 
 func TestCompiledForestEmpty(t *testing.T) {

@@ -55,10 +55,10 @@ func (c Config) withDefaults(nf int, kind cart.Kind) Config {
 	if c.MTry > nf {
 		c.MTry = nf
 	}
-	if c.SampleFrac == 0 {
+	if exactZero(c.SampleFrac) {
 		c.SampleFrac = 1
 	}
-	if c.Params.CP == 0 {
+	if exactZero(c.Params.CP) {
 		c.Params.CP = 1e-6
 	}
 	if c.Workers == 0 {

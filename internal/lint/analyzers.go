@@ -1,0 +1,51 @@
+package lint
+
+import "strings"
+
+// All returns every analyzer of the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand}
+}
+
+// determinismCritical lists the packages whose outputs must be
+// bit-identical across runs and worker counts: the trainers, the
+// ensembles and their merges, model serialization, the detectors whose
+// scans feed evaluation, the experiment harness behind the paper's
+// tables, and the model-updating logic that compares retrains. The
+// maporder and floateq analyzers are scoped to these; packages like
+// plot or storagesim may iterate maps and compare floats however they
+// like.
+var determinismCritical = map[string]bool{
+	"hddcart":                      true, // public API + Monitor serialization paths
+	"hddcart/internal/cart":        true,
+	"hddcart/internal/forest":      true,
+	"hddcart/internal/boost":       true,
+	"hddcart/internal/detect":      true,
+	"hddcart/internal/eval":        true,
+	"hddcart/internal/experiments": true,
+	"hddcart/internal/update":      true,
+}
+
+func inDeterminismCriticalPackage(path string) bool {
+	return determinismCritical[path]
+}
+
+// seededRandPackages is where the per-node/per-tree seeded stream
+// discipline applies (the ISSUE's list): every source of randomness and
+// time must come in through a Params/Config seed.
+var seededRandPackages = map[string]bool{
+	"hddcart/internal/cart":        true,
+	"hddcart/internal/forest":      true,
+	"hddcart/internal/boost":       true,
+	"hddcart/internal/experiments": true,
+}
+
+func inSeededRandPackage(path string) bool {
+	// Subpackages (none today) inherit the restriction.
+	for p := range seededRandPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

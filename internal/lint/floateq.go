@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands on the
+// determinism-critical paths. Exact float equality is almost always a
+// latent bug — two mathematically equal accumulations can differ in
+// the last ulp — and where it IS correct (comparing stored class
+// labels, NaN sentinels, exact-zero guards) the comparison belongs in
+// a named helper that documents why, marked //hddlint:floatcmp, so
+// every exact comparison in the tree is auditable in one grep.
+//
+// Two idioms are exempt without annotation: self-comparison (x != x,
+// the NaN test the compiled kernels use) and comparisons inside a
+// function whose doc comment carries //hddlint:floatcmp <reason>.
+var FloatEq = &Analyzer{
+	Name:      "floateq",
+	Doc:       "flags ==/!= on floats outside annotated comparison helpers",
+	AppliesTo: inDeterminismCriticalPackage,
+	Run:       runFloatEq,
+}
+
+const floatcmpDirective = "//hddlint:floatcmp"
+
+func hasFloatcmpDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == floatcmpDirective || strings.HasPrefix(c.Text, floatcmpDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasFloatcmpDirective(fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				op := be.Op.String()
+				if op != "==" && op != "!=" {
+					return true
+				}
+				if !isFloatType(p.TypeOf(be.X)) && !isFloatType(p.TypeOf(be.Y)) {
+					return true
+				}
+				// x != x / x == x is the NaN test; structurally identical
+				// operands cannot disagree for any other reason.
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true
+				}
+				p.Reportf(be.Pos(), "exact float comparison (%s) can differ in the last ulp; move it into a //hddlint:floatcmp helper documenting why exact equality is correct", op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

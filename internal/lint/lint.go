@@ -1,0 +1,206 @@
+// Package lint is hddcart's static-analysis suite: a set of analyzers
+// that turn the repo's determinism and zero-allocation invariants —
+// promised by the parallel trainer and the compiled inference engine,
+// but otherwise enforced only probabilistically by -race runs and
+// AllocsPerRun assertions — into compile-time properties checked on
+// every build.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, want-comment fixtures) so the analyzers
+// can be ported to a real multichecker wholesale if the dependency ever
+// becomes available; it is self-contained on the standard library's
+// go/ast + go/types because this module carries no third-party
+// dependencies.
+//
+// Two comment directives configure the suite:
+//
+//	//hddlint:noalloc
+//	    on a function's doc comment marks it as a steady-state
+//	    allocation-free kernel; the hotalloc analyzer then flags every
+//	    allocating construct in its body.
+//
+//	//hddlint:ignore <analyzer> <reason>
+//	    on (or immediately above) a flagged line suppresses that
+//	    analyzer's diagnostics for the line. The reason is mandatory:
+//	    an ignore without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors analysis.Analyzer closely
+// enough that porting to golang.org/x/tools/go/analysis is mechanical.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// AppliesTo restricts the analyzer to packages for which it returns
+	// true; nil means every package. Fixture tests bypass the filter and
+	// exercise Run directly.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned in the linted source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// RunAll is the driver entry point: it applies every analyzer to every
+// package (honoring the package filters), filters the results through
+// each file's //hddlint:ignore directives, and returns the surviving
+// diagnostics sorted by position. Malformed ignore directives (missing
+// analyzer name or reason) are reported as findings of the pseudo
+// analyzer "directive".
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	ig := ignoreIndex{}
+	for _, pkg := range pkgs {
+		pkgIg, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		for k, v := range pkgIg {
+			ig[k] = v
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreKey addresses one suppressed (file, line, analyzer) triple.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreIndex map[ignoreKey]bool
+
+// suppresses reports whether a directive covers the diagnostic's line.
+func (ig ignoreIndex) suppresses(d Diagnostic) bool {
+	return ig[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+const ignorePrefix = "//hddlint:ignore"
+
+// collectIgnores indexes every //hddlint:ignore directive of a package.
+// A directive suppresses its own source line and, when it is the whole
+// comment line, the line directly below it (the usual "comment above
+// the statement" placement). Directives missing an analyzer name or a
+// justification are returned as diagnostics instead of being honored.
+func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
+	ig := ignoreIndex{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "hddlint:ignore needs an analyzer name and a justification: //hddlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				ig[ignoreKey{pos.Filename, pos.Line, name}] = true
+				ig[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return ig, bad
+}
+
+const noallocDirective = "//hddlint:noalloc"
+
+// hasNoallocDirective reports whether a function's doc comment carries
+// the //hddlint:noalloc marker.
+func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder, filepath.Join("maporder", "a")) }
+func TestSeededRandFixture(t *testing.T) { runFixture(t, SeededRand, filepath.Join("seededrand", "a")) }
+func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc, filepath.Join("hotalloc", "a")) }
+func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq, filepath.Join("floateq", "a")) }
+func TestNakedGoFixture(t *testing.T)    { runFixture(t, NakedGo, filepath.Join("nakedgo", "a")) }
+
+// TestMalformedIgnoreDirectives checks that an ignore without an
+// analyzer name or without a justification is itself reported.
+func TestMalformedIgnoreDirectives(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "directive", "a"), "directive/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAll([]*Package{pkg}, nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one per malformed directive): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, "directive")
+		}
+		if !strings.Contains(d.Message, "needs an analyzer name and a justification") {
+			t.Errorf("unexpected message: %s", d.Message)
+		}
+	}
+}
+
+// TestAllAnalyzers pins the suite roster: the five analyzers the CI
+// lint job and the docs promise.
+func TestAllAnalyzers(t *testing.T) {
+	want := []string{"floateq", "hotalloc", "maporder", "nakedgo", "seededrand"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
+// TestPackageScoping checks the analyzer package filters: determinism
+// rules bind the training/serialization/merge packages, not plotting or
+// simulation helpers.
+func TestPackageScoping(t *testing.T) {
+	for _, p := range []string{
+		"hddcart",
+		"hddcart/internal/cart",
+		"hddcart/internal/experiments",
+		"hddcart/internal/update",
+	} {
+		if !inDeterminismCriticalPackage(p) {
+			t.Errorf("%s should be determinism-critical", p)
+		}
+	}
+	for _, p := range []string{
+		"hddcart/internal/plot",
+		"hddcart/internal/storagesim",
+		"hddcart/cmd/hddpred",
+	} {
+		if inDeterminismCriticalPackage(p) {
+			t.Errorf("%s should not be determinism-critical", p)
+		}
+	}
+	if !inSeededRandPackage("hddcart/internal/forest") {
+		t.Error("forest should be seeded-rand scoped")
+	}
+	if inSeededRandPackage("hddcart/internal/simulate") {
+		t.Error("simulate owns its seeded rng config; it is not in the restricted set")
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over the real module — the
+// acceptance criterion `go run ./cmd/hddlint ./...` exits 0, as a test.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadModule found only %d packages; the walker is missing the tree", len(pkgs))
+	}
+	diags := RunAll(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

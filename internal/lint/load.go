@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under lint.
+type Package struct {
+	// Path is the import path ("hddcart/internal/cart").
+	Path string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// modulePath is the import-path prefix the loader resolves itself;
+// everything else (the standard library) is delegated to the
+// source-based importer shipped with the toolchain, so linting needs no
+// pre-compiled export data and no third-party loader.
+const modulePath = "hddcart"
+
+// LoadModule type-checks every non-test package under root (the
+// directory holding go.mod) and returns them sorted by import path.
+// Test files are excluded on purpose: the invariants the analyzers
+// enforce are properties of production code, and tests legitimately use
+// wall clocks, ad-hoc goroutines and exact float comparisons.
+func LoadModule(root string) ([]*Package, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, dirs)
+	paths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks a single directory as a standalone package with
+// the given import path. Imports are restricted to the standard
+// library; the analyzer test fixtures use this.
+func LoadDir(dir, path string) (*Package, error) {
+	l := newLoader("", map[string]string{path: dir})
+	return l.load(path)
+}
+
+// packageDirs maps each import path of the module to its directory.
+// testdata trees, hidden directories and directories without buildable
+// non-test Go files are skipped.
+func packageDirs(root string) (map[string]string, error) {
+	dirs := map[string]string{}
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				ip := modulePath
+				if rel != "." {
+					ip = modulePath + "/" + filepath.ToSlash(rel)
+				}
+				dirs[ip] = p
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// loader type-checks module packages on demand, caching results so each
+// package is checked once no matter how many importers reach it.
+type loader struct {
+	fset  *token.FileSet
+	dirs  map[string]string // import path → directory
+	cache map[string]*Package
+	std   types.ImporterFrom
+}
+
+func newLoader(root string, dirs map[string]string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		dirs: dirs,
+		// "source" resolves standard-library imports by type-checking
+		// their sources under GOROOT, so no compiled export data is
+		// needed. It shares our FileSet, keeping positions coherent.
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache: map[string]*Package{},
+	}
+}
+
+// Import implements types.Importer by splitting the import space:
+// module-internal paths are loaded from the repo, everything else is
+// assumed to be standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown module package %q", path)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	tinfo := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, tinfo)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: tinfo}
+	l.cache[path] = pkg
+	return pkg, nil
+}

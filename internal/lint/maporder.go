@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map inside the determinism-critical
+// packages (training, serialization, merge paths). Go randomizes map
+// iteration order per run, so a float accumulation, an append of
+// results, or a serialized field written inside such a loop silently
+// breaks the bit-identical-output guarantee the parallel trainer and
+// the model-updating experiments depend on.
+//
+// The one sanctioned idiom is exempt: a loop whose body only performs
+// order-insensitive accumulation — appending keys/values to a slice
+// (which the caller then sorts, as sortedKeys does) or bumping integer
+// counters, both of which yield identical results in any order.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "flags map iteration on determinism-critical paths unless the body is order-insensitive",
+	AppliesTo: inDeterminismCriticalPackage,
+	Run:       runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(p, rs.Body) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "map iteration order is nondeterministic and this loop body is order-sensitive; collect and sort the keys first (see sortedKeys), or restrict the body to appends/integer counters")
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in a range body
+// is order-insensitive: `s = append(s, ...)` or an integer counter
+// update (x++, x--, x += k). Anything else — float accumulation, calls,
+// channel sends, nested control flow — is treated as order-sensitive.
+func orderInsensitiveBody(p *Pass, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerType(p.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(p, s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveAssign(p *Pass, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	switch s.Tok.String() {
+	case "=":
+		// Only `s = append(s, ...)` qualifies.
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || !isBuiltin(p, fn) {
+			return false
+		}
+		lhs, ok := s.Lhs[0].(*ast.Ident)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		return ok && first.Name == lhs.Name
+	case "+=", "-=", "|=", "&=", "^=":
+		return isIntegerType(p.TypeOf(s.Lhs[0]))
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(p *Pass, id *ast.Ident) bool {
+	_, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok
+}

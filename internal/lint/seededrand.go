@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand state and wall-clock reads in
+// the packages where every source of randomness must flow through
+// per-node-seeded streams (cart's nodeSeed-derived rand.Rand values,
+// the forest's per-tree seeds, the experiments' Config.Seed). A stray
+// rand.Intn or rand.Seed call shares mutable global state across
+// goroutines and changes results run to run; a time.Now() feeding any
+// model input destroys the retrain-to-retrain comparability the
+// paper's model-updating experiments (fixed/accumulation/replacing)
+// rely on. Constructing seeded streams (rand.New, rand.NewSource) and
+// calling methods on a *rand.Rand remain allowed.
+var SeededRand = &Analyzer{
+	Name:      "seededrand",
+	Doc:       "forbids global math/rand state and time.Now in seeded-randomness packages",
+	AppliesTo: inSeededRandPackage,
+	Run:       runSeededRand,
+}
+
+// seededRandAllowed are math/rand package-level names that construct
+// explicitly seeded streams instead of touching the global one.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				// Type references (rand.Rand, rand.Source) and the seeded
+				// constructors are fine; package-level funcs/vars hit the
+				// shared global generator.
+				if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if seededRandAllowed[sel.Sel.Name] {
+					return true
+				}
+				if sel.Sel.Name == "Seed" {
+					p.Reportf(sel.Pos(), "rand.Seed mutates the shared global generator; derive a *rand.Rand via rand.New(rand.NewSource(seed)) instead")
+					return true
+				}
+				p.Reportf(sel.Pos(), "global math/rand state (rand.%s) is shared and unseeded; all randomness here must flow through an explicitly seeded *rand.Rand", sel.Sel.Name)
+			case "time":
+				if sel.Sel.Name == "Now" {
+					p.Reportf(sel.Pos(), "time.Now makes results differ run to run; thread time through a seed or configuration instead")
+				}
+			}
+			return true
+		})
+	}
+}

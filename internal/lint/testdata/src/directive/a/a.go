@@ -1,0 +1,12 @@
+// Package a is the directive fixture: malformed //hddlint:ignore
+// directives are findings, not silent suppressions.
+package a
+
+//hddlint:ignore
+var missingEverything = 1
+
+//hddlint:ignore maporder
+var missingReason = 2
+
+//hddlint:ignore maporder a perfectly good reason
+var wellFormed = 3

@@ -1,0 +1,38 @@
+// Package a is the floateq fixture: naked float equality next to the
+// exempt NaN self-test and annotated-helper idioms.
+package a
+
+func equal(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want `exact float comparison \(!=\)`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `exact float comparison`
+}
+
+func thirtyTwo(a, b float32) bool {
+	return a == b // want `exact float comparison`
+}
+
+// isNaN uses the self-comparison idiom the compiled kernels rely on;
+// structurally identical operands are exempt.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// sameLabel is an annotated comparison helper: exact equality is the
+// semantics, documented at the one auditable site.
+//
+//hddlint:floatcmp fixture: labels are exact by construction
+func sameLabel(a, b float64) bool { return a == b }
+
+func viaHelper(a, b float64) bool { return sameLabel(a, b) }
+
+// Integer and ordered comparisons are fine.
+func ints(a, b int) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }

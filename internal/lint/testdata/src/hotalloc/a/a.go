@@ -1,0 +1,77 @@
+// Package a is the hotalloc fixture: allocating constructs inside
+// //hddlint:noalloc functions, next to clean kernels and the sanctioned
+// cold-path-growth idiom.
+package a
+
+import "fmt"
+
+//hddlint:noalloc
+func makesScratch(dst, src []float64) {
+	buf := make([]float64, len(src)) // want `calls make`
+	copy(buf, src)
+	copy(dst, buf)
+}
+
+//hddlint:noalloc
+func grows(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `calls append`
+}
+
+//hddlint:noalloc
+func captures(dst []float64) func() {
+	return func() { dst[0] = 1 } // want `builds a closure`
+}
+
+//hddlint:noalloc
+func concats(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//hddlint:noalloc
+func formats(x float64) {
+	fmt.Println(x) // want `calls fmt\.Println`
+}
+
+func sink(v any) { _ = v }
+
+//hddlint:noalloc
+func boxes(x int) {
+	sink(x) // want `boxes a int into an interface argument`
+}
+
+//hddlint:noalloc
+func converts(x float64) any {
+	return any(x) // want `boxes a float64 into an interface`
+}
+
+// Pointer-shaped values fit the interface word without allocating.
+//
+//hddlint:noalloc
+func pointerOK(p *int) {
+	sink(p)
+}
+
+// Unannotated functions may allocate freely.
+func cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+// A real kernel shape: arithmetic into a caller-provided buffer.
+//
+//hddlint:noalloc
+func clean(dst, src []float64) {
+	for i, v := range src {
+		dst[i] = v * v
+	}
+}
+
+// Cold-path scratch growth is legal with a justified site ignore.
+//
+//hddlint:noalloc
+func coldGrowth(sc []float64, n int) []float64 {
+	if cap(sc) < n {
+		//hddlint:ignore hotalloc fixture: cold path grows pooled scratch once
+		sc = make([]float64, n)
+	}
+	return sc[:n]
+}

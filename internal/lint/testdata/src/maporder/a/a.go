@@ -1,0 +1,71 @@
+// Package a is the maporder fixture: flagged map ranges next to the
+// sanctioned sorted-keys and counter idioms.
+package a
+
+import "sort"
+
+// sumValues feeds a float accumulation from a map range — the classic
+// way bit-identical determinism dies.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// writeInOrder serializes fields in map order: the write call makes the
+// body order-sensitive even though nothing is accumulated.
+func writeInOrder(m map[string]float64, write func(string)) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		write(k)
+	}
+}
+
+// sortedKeys is the sanctioned idiom: the collection loop only appends,
+// which is order-insensitive; ordering happens in sort.Strings.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedSum ranges over the sorted slice, not the map.
+func sortedSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, k := range sortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// countValues only bumps integer counters — order-insensitive.
+func countValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// suppressed demonstrates the ignore directive with a justification.
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	//hddlint:ignore maporder fixture demonstrates a justified suppression
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// slices are ordered; ranging them is always fine.
+func sliceSum(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

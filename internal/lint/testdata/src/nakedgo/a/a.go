@@ -1,0 +1,44 @@
+// Package a is the nakedgo fixture: fire-and-forget goroutines next to
+// the sanctioned bounded worker-pool pattern.
+package a
+
+import "sync"
+
+func naked(f func()) {
+	go f() // want `go statement without a sync\.WaitGroup`
+}
+
+// pooled is the detect.ScanBatch shape: Add before spawn, Wait before
+// return.
+func pooled(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// A closure that spawns must wait itself; the outer function's Wait
+// does not cover it.
+func nestedNaked(f func()) func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); f() }()
+	wg.Wait()
+	return func() {
+		go f() // want `go statement without a sync\.WaitGroup`
+	}
+}
+
+func nestedWaits(f func()) func() {
+	return func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); f() }()
+		wg.Wait()
+	}
+}

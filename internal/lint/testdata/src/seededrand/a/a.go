@@ -1,0 +1,39 @@
+// Package a is the seededrand fixture: global math/rand state and
+// wall-clock reads next to the sanctioned seeded-stream idiom.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand state \(rand\.Intn\)`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `global math/rand state`
+}
+
+func reseed() {
+	rand.Seed(42) // want `rand\.Seed mutates the shared global generator`
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now makes results differ run to run`
+}
+
+// seeded builds the sanctioned per-seed stream; constructors are
+// allowed, as are *rand.Rand type references and method calls.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Other time package uses (types, constants, arithmetic) are fine.
+func timeout(d time.Duration) time.Duration {
+	return d + time.Second
+}
