@@ -204,6 +204,23 @@ func SimulateStorageSystem(cfg StorageSimConfig) (StorageSimResult, error) {
 	return storagesim.Run(cfg)
 }
 
+// NewVotingDetector returns a validated voting detector (paper §V-A3):
+// it alarms when more than half of a drive's last voters samples score
+// below threshold. The model is required, voters must be ≥ 1 and the
+// threshold must lie in [-1, 1]; invalid predictions (NaN scores) are
+// excluded from the window rather than counted as healthy votes.
+func NewVotingDetector(model Predictor, voters int, threshold float64) (*VotingDetector, error) {
+	return detect.NewVoting(model, voters, threshold)
+}
+
+// NewMeanThresholdDetector returns a validated health-degree detector
+// (paper §V-C): it alarms when the mean of the last voters valid scores
+// drops below threshold. The same construction-time validation as
+// NewVotingDetector applies.
+func NewMeanThresholdDetector(model Predictor, voters int, threshold float64) (*MeanThresholdDetector, error) {
+	return detect.NewMeanThreshold(model, voters, threshold)
+}
+
 // ExtractSeries computes the scored sample sequence of trace[from:to].
 func ExtractSeries(features FeatureSet, trace []Record, from, to int) Series {
 	return detect.ExtractSeries(features, trace, from, to)

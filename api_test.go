@@ -147,3 +147,36 @@ func TestReliabilityFacade(t *testing.T) {
 		t.Errorf("RAID-6 MTTDL %.3g should exceed RAID-5 %.3g", r6, r5)
 	}
 }
+
+func TestDetectorConstructors(t *testing.T) {
+	model := firstFeatureModel{}
+	v, err := NewVotingDetector(model, 5, 0)
+	if err != nil || v.Voters != 5 {
+		t.Fatalf("valid voting detector rejected: %v", err)
+	}
+	m, err := NewMeanThresholdDetector(model, 3, -0.3)
+	if err != nil || m.Voters != 3 {
+		t.Fatalf("valid mean detector rejected: %v", err)
+	}
+	cases := []struct {
+		name      string
+		model     Predictor
+		voters    int
+		threshold float64
+	}{
+		{"nil model", nil, 5, 0},
+		{"zero window", model, 0, 0},
+		{"negative window", model, -1, 0},
+		{"threshold above 1", model, 5, 1.5},
+		{"threshold below -1", model, 5, -2},
+		{"NaN threshold", model, 5, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewVotingDetector(c.model, c.voters, c.threshold); err == nil {
+			t.Errorf("voting: %s accepted", c.name)
+		}
+		if _, err := NewMeanThresholdDetector(c.model, c.voters, c.threshold); err == nil {
+			t.Errorf("mean-threshold: %s accepted", c.name)
+		}
+	}
+}

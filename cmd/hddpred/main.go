@@ -112,7 +112,23 @@ func loadTraces(path, format string) ([]trace.DriveTrace, error) {
 		}
 		return r.ReadAll()
 	case "backblaze":
-		return trace.ReadBackblaze(f, trace.BackblazeOptions{})
+		drives, stats, err := trace.ReadBackblazeStats(f, trace.BackblazeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		// Real snapshot dumps are routinely dirty; make every dropped or
+		// repaired row visible instead of silently training on less data.
+		if stats.Dropped > 0 || stats.Repaired > 0 {
+			fmt.Fprintf(os.Stderr, "hddpred: %s: %s\n", path, stats.String())
+			for i, re := range stats.Errors {
+				if i == 5 {
+					fmt.Fprintf(os.Stderr, "hddpred:   ... %d more\n", len(stats.Errors)-i+stats.Truncated)
+					break
+				}
+				fmt.Fprintf(os.Stderr, "hddpred:   %s\n", re.Error())
+			}
+		}
+		return drives, nil
 	default:
 		return nil, fmt.Errorf("unknown data format %q (want hddcart or backblaze)", format)
 	}

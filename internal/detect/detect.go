@@ -11,9 +11,19 @@
 // With N = 1 voting degenerates to the plain sequential scan used before
 // §V-A3 ("predict the drive is going to break down if any sample is
 // classified as failed").
+//
+// Invalid predictions — NaN scores from corrupt feature vectors — are
+// excluded from every window rather than miscounted: a NaN compares false
+// against any threshold, so counting it would silently turn a corrupt
+// sample into a "healthy" vote. Both detectors behave exactly as if the
+// invalid samples were absent from the series, and the alarm index still
+// refers to the original series.
 package detect
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"sync"
 
 	"hddcart/internal/smart"
@@ -40,7 +50,18 @@ type Detector interface {
 	Detect(xs [][]float64) int
 }
 
+// validThreshold reports whether t is a usable alarm cut: scores live on
+// the ±1 classifier / health-degree scale, so any finite cut outside
+// [-1, 1] either always or never trips and is a configuration bug.
+func validThreshold(t float64) bool {
+	return !math.IsNaN(t) && t >= -1 && t <= 1
+}
+
 // Voting is the paper's voting-based detector over a binary classifier.
+// The zero-configuration escape hatches (Voters < 1 acting as 1) exist for
+// literal construction in tests and experiments; production callers should
+// build detectors with NewVoting, which rejects degenerate configurations
+// outright.
 type Voting struct {
 	// Model scores samples; a sample votes "failed" when its score is
 	// below Threshold.
@@ -53,12 +74,37 @@ type Voting struct {
 
 var _ Detector = (*Voting)(nil)
 
-// Detect implements Detector: the first index i (i ≥ N−1) where more than
-// N/2 of samples i−N+1..i vote failed, else -1. When Model also implements
-// BatchPredictor the series is scored in pooled, allocation-free chunks
-// interleaved with the vote sweep (so an early alarm stops scoring, like
-// the streaming path); the per-sample comparisons are unchanged, so both
-// paths alarm at the same index.
+// NewVoting validates the configuration and returns the detector.
+func NewVoting(model Predictor, voters int, threshold float64) (*Voting, error) {
+	v := &Voting{Model: model, Voters: voters, Threshold: threshold}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Validate rejects configurations that would silently degenerate: a nil
+// model, a non-positive window, or a threshold outside [-1, 1].
+func (v *Voting) Validate() error {
+	if v.Model == nil {
+		return errors.New("detect: voting needs a model")
+	}
+	if v.Voters < 1 {
+		return fmt.Errorf("detect: voting window N must be positive, got %d", v.Voters)
+	}
+	if !validThreshold(v.Threshold) {
+		return fmt.Errorf("detect: voting threshold %v outside [-1, 1]", v.Threshold)
+	}
+	return nil
+}
+
+// Detect implements Detector: the first index i where more than N/2 of the
+// last N valid samples up to i vote failed (and at least N valid samples
+// exist), else -1. NaN scores are excluded from the window. When Model
+// also implements BatchPredictor the series is scored in pooled,
+// allocation-free chunks interleaved with the vote sweep (so an early
+// alarm stops scoring, like the streaming path); the per-sample
+// comparisons are unchanged, so both paths alarm at the same index.
 func (v *Voting) Detect(xs [][]float64) int {
 	n := v.Voters
 	if n < 1 {
@@ -71,19 +117,29 @@ func (v *Voting) Detect(xs [][]float64) int {
 			scores = make([]float64, len(xs))
 		}
 		scores = scores[:len(xs)]
-		votes, idx := 0, -1
+		// Valid scores are compacted in place into scores[:m] as the sweep
+		// advances (m never catches up with the chunk being scored), so
+		// the window arithmetic below runs on valid samples only while the
+		// alarm index stays in series coordinates.
+		votes, m, idx := 0, 0, -1
 	sweep:
 		for lo := 0; lo < len(xs); lo += detectChunk {
 			hi := min(lo+detectChunk, len(xs))
 			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
 			for i := lo; i < hi; i++ {
-				if scores[i] < v.Threshold {
+				s := scores[i]
+				if s != s {
+					continue // invalid prediction: excluded, not counted
+				}
+				scores[m] = s
+				m++
+				if s < v.Threshold {
 					votes++
 				}
-				if i >= n && scores[i-n] < v.Threshold {
+				if m > n && scores[m-n-1] < v.Threshold {
 					votes--
 				}
-				if i >= n-1 && 2*votes > n {
+				if m >= n && 2*votes > n {
 					idx = i
 					break sweep
 				}
@@ -96,7 +152,11 @@ func (v *Voting) Detect(xs [][]float64) int {
 	votes := 0
 	window := make([]bool, 0, n)
 	for i, x := range xs {
-		failed := v.Model.Predict(x) < v.Threshold
+		s := v.Model.Predict(x)
+		if s != s {
+			continue // invalid prediction: excluded, not counted
+		}
+		failed := s < v.Threshold
 		window = append(window, failed)
 		if failed {
 			votes++
@@ -106,7 +166,7 @@ func (v *Voting) Detect(xs [][]float64) int {
 				votes--
 			}
 		}
-		if i >= n-1 && 2*votes > n {
+		if len(window) >= n && 2*votes > n {
 			return i
 		}
 	}
@@ -114,7 +174,9 @@ func (v *Voting) Detect(xs [][]float64) int {
 }
 
 // MeanThreshold is the health-degree detector: it alarms when the mean of
-// the last N predicted health degrees drops below Threshold.
+// the last N predicted health degrees drops below Threshold. As with
+// Voting, literal construction tolerates Voters < 1; NewMeanThreshold is
+// the validating path.
 type MeanThreshold struct {
 	// Model predicts health degrees in [−1, +1].
 	Model Predictor
@@ -126,11 +188,35 @@ type MeanThreshold struct {
 
 var _ Detector = (*MeanThreshold)(nil)
 
-// Detect implements Detector. When Model also implements BatchPredictor
-// the series is scored in pooled, allocation-free chunks interleaved with
-// the window sweep; the rolling sum adds and subtracts the same scores in
-// the same order as the streaming path, so the mean comparison is
-// bit-identical.
+// NewMeanThreshold validates the configuration and returns the detector.
+func NewMeanThreshold(model Predictor, voters int, threshold float64) (*MeanThreshold, error) {
+	m := &MeanThreshold{Model: model, Voters: voters, Threshold: threshold}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate rejects configurations that would silently degenerate: a nil
+// model, a non-positive window, or a threshold outside [-1, 1].
+func (m *MeanThreshold) Validate() error {
+	if m.Model == nil {
+		return errors.New("detect: mean-threshold needs a model")
+	}
+	if m.Voters < 1 {
+		return fmt.Errorf("detect: mean-threshold window N must be positive, got %d", m.Voters)
+	}
+	if !validThreshold(m.Threshold) {
+		return fmt.Errorf("detect: mean-threshold %v outside [-1, 1]", m.Threshold)
+	}
+	return nil
+}
+
+// Detect implements Detector. NaN scores are excluded from the rolling
+// window. When Model also implements BatchPredictor the series is scored
+// in pooled, allocation-free chunks interleaved with the window sweep; the
+// rolling sum adds and subtracts the same scores in the same order as the
+// streaming path, so the mean comparison is bit-identical.
 func (m *MeanThreshold) Detect(xs [][]float64) int {
 	n := m.Voters
 	if n < 1 {
@@ -143,17 +229,25 @@ func (m *MeanThreshold) Detect(xs [][]float64) int {
 			scores = make([]float64, len(xs))
 		}
 		scores = scores[:len(xs)]
-		sum, idx := 0.0, -1
+		// Same in-place compaction as Voting.Detect: the rolling sum only
+		// ever sees valid scores.
+		sum, cnt, idx := 0.0, 0, -1
 	sweep:
 		for lo := 0; lo < len(xs); lo += detectChunk {
 			hi := min(lo+detectChunk, len(xs))
 			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
 			for i := lo; i < hi; i++ {
-				sum += scores[i]
-				if i >= n {
-					sum -= scores[i-n]
+				s := scores[i]
+				if s != s {
+					continue // invalid prediction: excluded, not counted
 				}
-				if i >= n-1 && sum/float64(n) < m.Threshold {
+				scores[cnt] = s
+				cnt++
+				sum += s
+				if cnt > n {
+					sum -= scores[cnt-n-1]
+				}
+				if cnt >= n && sum/float64(n) < m.Threshold {
 					idx = i
 					break sweep
 				}
@@ -167,12 +261,15 @@ func (m *MeanThreshold) Detect(xs [][]float64) int {
 	scores := make([]float64, 0, len(xs))
 	for i, x := range xs {
 		s := m.Model.Predict(x)
+		if s != s {
+			continue // invalid prediction: excluded, not counted
+		}
 		scores = append(scores, s)
 		sum += s
 		if len(scores) > n {
 			sum -= scores[len(scores)-n-1]
 		}
-		if i >= n-1 && sum/float64(n) < m.Threshold {
+		if len(scores) >= n && sum/float64(n) < m.Threshold {
 			return i
 		}
 	}
@@ -184,11 +281,18 @@ func (m *MeanThreshold) Detect(xs [][]float64) int {
 type Series struct {
 	X     [][]float64
 	Hours []int
+	// Dropped counts records excluded while building the series because
+	// their feature vectors were not finite (corrupt telemetry that
+	// survived upstream repair).
+	Dropped int
 }
 
 // ExtractSeries computes the feature vectors of trace[from:to]. The full
 // trace is retained for change-rate lookback, so records whose lookback
-// reaches before the trace start are skipped. from/to are clamped.
+// reaches before the trace start are skipped. Records whose extracted
+// feature vector contains a non-finite value are excluded and counted in
+// Series.Dropped — scoring them would hand the model NaN inputs. from/to
+// are clamped.
 func ExtractSeries(features smart.FeatureSet, trace []smart.Record, from, to int) Series {
 	if from < 0 {
 		from = 0
@@ -210,11 +314,25 @@ func ExtractSeries(features smart.FeatureSet, trace []smart.Record, from, to int
 		if !features.Extract(trace, i, x) {
 			continue // reuse the buffer for the next record
 		}
+		if !finiteVector(x) {
+			s.Dropped++
+			continue
+		}
 		s.X = append(s.X, x)
 		s.Hours = append(s.Hours, trace[i].Hour)
 		x = nil
 	}
 	return s
+}
+
+// finiteVector reports whether every component of x is a real number.
+func finiteVector(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Outcome is the result of scanning one drive.
@@ -259,10 +377,41 @@ type MultiVoting struct {
 	Workers int
 }
 
+// NewMultiVoting validates the configuration and returns the detector.
+func NewMultiVoting(model Predictor, voters []int, threshold float64, workers int) (*MultiVoting, error) {
+	m := &MultiVoting{Model: model, Voters: voters, Threshold: threshold, Workers: workers}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate rejects a nil model, non-positive window sizes, thresholds
+// outside [-1, 1] and negative worker counts.
+func (m *MultiVoting) Validate() error {
+	if m.Model == nil {
+		return errors.New("detect: multi-voting needs a model")
+	}
+	for _, n := range m.Voters {
+		if n < 1 {
+			return fmt.Errorf("detect: multi-voting window N must be positive, got %d", n)
+		}
+	}
+	if !validThreshold(m.Threshold) {
+		return fmt.Errorf("detect: multi-voting threshold %v outside [-1, 1]", m.Threshold)
+	}
+	if m.Workers < 0 {
+		return fmt.Errorf("detect: multi-voting workers must be non-negative, got %d", m.Workers)
+	}
+	return nil
+}
+
 // DetectAll returns, for each configured window size, the index of the
 // first alarm (-1 = none), in the same order as Voters. Samples are
 // scored through the model's batch path when available, fanned across up
-// to Workers goroutines.
+// to Workers goroutines. NaN scores are excluded from every window, with
+// alarm indexes reported in series coordinates — identical to running
+// Voting per window size.
 func (m *MultiVoting) DetectAll(xs [][]float64) []int {
 	out := make([]int, len(m.Voters))
 	for i := range out {
@@ -273,9 +422,20 @@ func (m *MultiVoting) DetectAll(xs [][]float64) []int {
 	}
 	scores := make([]float64, len(xs))
 	scoreInto(m.Model, xs, scores, m.Workers)
-	// Prefix counts of failed votes: fails[i] = #failed among xs[:i].
-	fails := make([]int, len(xs)+1)
+	// Compact away invalid scores, remembering each valid score's series
+	// index so alarms are reported against the original samples.
+	orig := make([]int, 0, len(xs))
+	valid := scores[:0]
 	for i, s := range scores {
+		if s != s {
+			continue
+		}
+		valid = append(valid, s)
+		orig = append(orig, i)
+	}
+	// Prefix counts of failed votes: fails[i] = #failed among valid[:i].
+	fails := make([]int, len(valid)+1)
+	for i, s := range valid {
 		fails[i+1] = fails[i]
 		if s < m.Threshold {
 			fails[i+1]++
@@ -285,9 +445,9 @@ func (m *MultiVoting) DetectAll(xs [][]float64) []int {
 		if n < 1 {
 			n = 1
 		}
-		for i := n - 1; i < len(xs); i++ {
+		for i := n - 1; i < len(valid); i++ {
 			if 2*(fails[i+1]-fails[i+1-n]) > n {
-				out[vi] = i
+				out[vi] = orig[i]
 				break
 			}
 		}

@@ -1,0 +1,230 @@
+// Package faultinject deterministically corrupts SMART telemetry so tests
+// can drive the ingest→monitor→detect pipeline through the fault classes
+// real collectors produce: lost and re-delivered samples, clock trouble
+// (out-of-order rows, long gaps), value corruption (NaN, ±Inf,
+// out-of-domain numbers), truncated CSV rows and serial-number conflicts.
+//
+// Every injector draws from a caller-seeded *rand.Rand and flips an
+// independent Bernoulli(severity) coin per row, so
+//
+//   - severity 0 is the identity (the output equals the input bit for bit),
+//   - a fixed (seed, severity) pair always yields the same corruption, and
+//   - expected damage scales linearly with severity.
+//
+// That determinism is what lets the chaos suite assert exact behaviour at
+// severity 0 and reproducible, bounded degradation above it.
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"hddcart/internal/smart"
+	"hddcart/internal/trace"
+)
+
+// SeedFor derives a stable sub-seed from a base seed and string labels
+// (injector name, drive serial, ...) so each (injector, drive) pair gets an
+// independent deterministic stream: corrupting one drive harder never
+// shifts the randomness applied to another.
+func SeedFor(base int64, labels ...string) int64 {
+	h := uint64(base) ^ 1469598103934665603
+	for _, s := range labels {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // separator so ("ab","c") != ("a","bc")
+		h *= 1099511628211
+	}
+	return int64(h & math.MaxInt64)
+}
+
+// Injector is one named, record-level fault class.
+type Injector struct {
+	// Name labels the injector in test output.
+	Name string
+	// apply corrupts a private copy of the records.
+	apply func(rng *rand.Rand, recs []smart.Record, severity float64)
+}
+
+// Apply returns a corrupted copy of recs. The input is never mutated, and
+// severity (clamped to [0,1]) is the per-row corruption probability;
+// severity 0 returns an exact copy.
+func (inj Injector) Apply(rng *rand.Rand, recs []smart.Record, severity float64) []smart.Record {
+	if severity < 0 {
+		severity = 0
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	out := make([]smart.Record, len(recs))
+	copy(out, recs)
+	if severity == 0 {
+		return out
+	}
+	inj.apply(rng, out, severity)
+	n := 0
+	for i := range out {
+		if out[i].Hour != droppedHour {
+			out[n] = out[i]
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// DropSamples loses each sample independently (collector outages, storage
+// errors — the paper's §IV-A dropout, dialled up).
+func DropSamples() Injector {
+	return Injector{Name: "drop-samples", apply: func(rng *rand.Rand, recs []smart.Record, severity float64) {
+		// Mark dropped rows; Apply compacts them out of the returned slice.
+		for i := range recs {
+			if rng.Float64() < severity {
+				recs[i].Hour = droppedHour
+			}
+		}
+	}}
+}
+
+// droppedHour marks a record DropSamples removed; Apply compacts them out.
+const droppedHour = math.MinInt32
+
+// DuplicateSamples re-delivers a sample for an hour already seen (retrying
+// collectors, at-least-once transports). The duplicate replaces its right
+// neighbour so the trace length is unchanged and the fault is purely
+// "same hour twice".
+func DuplicateSamples() Injector {
+	return Injector{Name: "duplicate-samples", apply: func(rng *rand.Rand, recs []smart.Record, severity float64) {
+		for i := 0; i+1 < len(recs); i++ {
+			if rng.Float64() < severity {
+				recs[i+1] = recs[i]
+			}
+		}
+	}}
+}
+
+// ReorderSamples swaps adjacent samples (clock skew between collector
+// shards, queue re-ordering), producing locally non-chronological streams.
+func ReorderSamples() Injector {
+	return Injector{Name: "reorder-samples", apply: func(rng *rand.Rand, recs []smart.Record, severity float64) {
+		for i := 1; i < len(recs); i++ {
+			if rng.Float64() < severity {
+				recs[i-1], recs[i] = recs[i], recs[i-1]
+			}
+		}
+	}}
+}
+
+// GapTimestamps opens a telemetry blackout before a sample: its hour and
+// every later hour shift forward by one to fourteen days.
+func GapTimestamps() Injector {
+	return Injector{Name: "gap-timestamps", apply: func(rng *rand.Rand, recs []smart.Record, severity float64) {
+		offset := 0
+		for i := range recs {
+			if rng.Float64() < severity {
+				offset += 24 + rng.Intn(13*24+1)
+			}
+			recs[i].Hour += offset
+		}
+	}}
+}
+
+// CorruptNaN overwrites one normalized and one raw value per hit row with
+// NaN (failed attribute reads serialized as garbage).
+func CorruptNaN() Injector {
+	return corruptValues("corrupt-nan",
+		func(*rand.Rand) float64 { return math.NaN() },
+		func(*rand.Rand) float64 { return math.NaN() })
+}
+
+// CorruptInf overwrites values with ±Inf (overflowed counters, broken
+// float formatting).
+func CorruptInf() Injector {
+	inf := func(rng *rand.Rand) float64 {
+		if rng.Float64() < 0.5 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
+	return corruptValues("corrupt-inf", inf, inf)
+}
+
+// CorruptOutOfRange overwrites values with finite numbers outside the SMART
+// domains: normalized beyond [0,255], raw negative or beyond 48-bit range.
+func CorruptOutOfRange() Injector {
+	return corruptValues("corrupt-out-of-range",
+		func(rng *rand.Rand) float64 {
+			if rng.Float64() < 0.5 {
+				return -1 - rng.Float64()*1000
+			}
+			return smart.MaxNormalized + 1 + rng.Float64()*1e6
+		},
+		func(rng *rand.Rand) float64 {
+			if rng.Float64() < 0.5 {
+				return -1 - rng.Float64()*1e6
+			}
+			return smart.MaxRaw * (2 + rng.Float64())
+		})
+}
+
+// corruptValues builds a value-corruption injector: per hit row it poisons
+// one random normalized and one random raw attribute.
+func corruptValues(name string, norm, raw func(*rand.Rand) float64) Injector {
+	return Injector{Name: name, apply: func(rng *rand.Rand, recs []smart.Record, severity float64) {
+		for i := range recs {
+			if rng.Float64() < severity {
+				recs[i].Normalized[rng.Intn(smart.NumAttrs)] = norm(rng)
+				recs[i].Raw[rng.Intn(smart.NumAttrs)] = raw(rng)
+			}
+		}
+	}}
+}
+
+// RecordInjectors returns every record-level injector, one per fault class.
+func RecordInjectors() []Injector {
+	return []Injector{
+		DropSamples(),
+		DuplicateSamples(),
+		ReorderSamples(),
+		GapTimestamps(),
+		CorruptNaN(),
+		CorruptInf(),
+		CorruptOutOfRange(),
+	}
+}
+
+// TruncateCSVRows cuts each data line of a CSV document short at a random
+// byte with probability severity (partial writes, mid-row crashes). The
+// header line is never touched, and severity 0 returns the input unchanged.
+func TruncateCSVRows(rng *rand.Rand, doc string, severity float64) string {
+	if severity <= 0 {
+		return doc
+	}
+	lines := strings.Split(doc, "\n")
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) > 0 && rng.Float64() < severity {
+			lines[i] = lines[i][:rng.Intn(len(lines[i]))]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ConflictSerials rewrites each drive's serial, with probability severity,
+// to another randomly chosen drive's serial (cloned labels, asset-database
+// mix-ups), so one serial carries two interleaved histories. The input
+// slice is not mutated; severity 0 returns an exact copy.
+func ConflictSerials(rng *rand.Rand, drives []trace.DriveTrace, severity float64) []trace.DriveTrace {
+	out := make([]trace.DriveTrace, len(drives))
+	copy(out, drives)
+	if severity <= 0 || len(drives) < 2 {
+		return out
+	}
+	for i := range out {
+		if rng.Float64() < severity {
+			out[i].Meta.Serial = drives[rng.Intn(len(drives))].Meta.Serial
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hddcart/internal/smart"
+	"hddcart/internal/trace"
+)
+
+// cleanTrace builds n chronological, fully in-domain records.
+func cleanTrace(n int) []smart.Record {
+	recs := make([]smart.Record, n)
+	for i := range recs {
+		recs[i].Hour = i
+		for j := 0; j < smart.NumAttrs; j++ {
+			recs[i].Normalized[j] = float64(90 + (i+j)%20)
+			recs[i].Raw[j] = float64(i * (j + 1))
+		}
+	}
+	return recs
+}
+
+func TestSeedForIndependence(t *testing.T) {
+	if SeedFor(1, "a", "bc") == SeedFor(1, "ab", "c") {
+		t.Error("label boundaries not separated")
+	}
+	if SeedFor(1, "x") == SeedFor(2, "x") {
+		t.Error("base seed ignored")
+	}
+	if SeedFor(7, "drop", "d1") != SeedFor(7, "drop", "d1") {
+		t.Error("seed not stable")
+	}
+	if SeedFor(7, "x") < 0 {
+		t.Error("seed must be non-negative")
+	}
+}
+
+func TestSeverityZeroIsIdentity(t *testing.T) {
+	recs := cleanTrace(50)
+	for _, inj := range RecordInjectors() {
+		rng := rand.New(rand.NewSource(SeedFor(3, inj.Name)))
+		out := inj.Apply(rng, recs, 0)
+		if !reflect.DeepEqual(out, recs) {
+			t.Errorf("%s: severity 0 is not the identity", inj.Name)
+		}
+		if len(out) > 0 && &out[0] == &recs[0] {
+			t.Errorf("%s: returned the input slice instead of a copy", inj.Name)
+		}
+	}
+}
+
+// recsEqual compares record slices bit for bit (NaN equals NaN).
+func recsEqual(a, b []smart.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Hour != b[i].Hour {
+			return false
+		}
+		for j := 0; j < smart.NumAttrs; j++ {
+			if math.Float64bits(a[i].Normalized[j]) != math.Float64bits(b[i].Normalized[j]) ||
+				math.Float64bits(a[i].Raw[j]) != math.Float64bits(b[i].Raw[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyIsDeterministic(t *testing.T) {
+	recs := cleanTrace(200)
+	for _, inj := range RecordInjectors() {
+		a := inj.Apply(rand.New(rand.NewSource(SeedFor(9, inj.Name))), recs, 0.3)
+		b := inj.Apply(rand.New(rand.NewSource(SeedFor(9, inj.Name))), recs, 0.3)
+		if !recsEqual(a, b) {
+			t.Errorf("%s: same seed produced different corruption", inj.Name)
+		}
+	}
+}
+
+func TestApplyNeverMutatesInput(t *testing.T) {
+	recs := cleanTrace(100)
+	want := cleanTrace(100)
+	for _, inj := range RecordInjectors() {
+		inj.Apply(rand.New(rand.NewSource(1)), recs, 1)
+		if !reflect.DeepEqual(recs, want) {
+			t.Fatalf("%s: mutated the input records", inj.Name)
+		}
+	}
+}
+
+// TestInjectorsProduceTheirFaultClass corrupts hard (severity 1) and checks
+// each injector manufactures the fault it is named for.
+func TestInjectorsProduceTheirFaultClass(t *testing.T) {
+	recs := cleanTrace(100)
+	rngFor := func(name string) *rand.Rand {
+		return rand.New(rand.NewSource(SeedFor(11, name)))
+	}
+
+	if out := DropSamples().Apply(rngFor("drop"), recs, 1); len(out) != 0 {
+		t.Errorf("drop at severity 1 kept %d records", len(out))
+	}
+	if out := DropSamples().Apply(rngFor("drop"), recs, 0.5); len(out) == 0 || len(out) == len(recs) {
+		t.Errorf("drop at severity 0.5 kept %d of %d records", len(out), len(recs))
+	}
+
+	out := DuplicateSamples().Apply(rngFor("dup"), recs, 1)
+	if len(out) != len(recs) {
+		t.Fatalf("duplicate changed the trace length to %d", len(out))
+	}
+	dups := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].Hour == out[i-1].Hour {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("duplicate produced no repeated hours")
+	}
+
+	out = ReorderSamples().Apply(rngFor("reorder"), recs, 0.5)
+	ooo := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].Hour < out[i-1].Hour {
+			ooo++
+		}
+	}
+	if ooo == 0 {
+		t.Error("reorder produced no out-of-order pairs")
+	}
+
+	out = GapTimestamps().Apply(rngFor("gap"), recs, 0.1)
+	gaps := 0
+	for i := 1; i < len(out); i++ {
+		if d := out[i].Hour - out[i-1].Hour; d >= 24 {
+			gaps++
+		} else if d != 1 {
+			t.Fatalf("gap injector produced a non-gap stride %d", d)
+		}
+	}
+	if gaps == 0 {
+		t.Error("gap injector opened no gaps")
+	}
+
+	for _, inj := range []Injector{CorruptNaN(), CorruptInf(), CorruptOutOfRange()} {
+		out := inj.Apply(rngFor(inj.Name), recs, 0.3)
+		corrupt := 0
+		for i := range out {
+			corrupt += out[i].CorruptValues()
+		}
+		if corrupt == 0 {
+			t.Errorf("%s produced no corrupt values", inj.Name)
+		}
+	}
+}
+
+func TestTruncateCSVRows(t *testing.T) {
+	doc := "h1,h2,h3\na,b,c\nd,e,f\ng,h,i\n"
+	if got := TruncateCSVRows(rand.New(rand.NewSource(1)), doc, 0); got != doc {
+		t.Error("severity 0 changed the document")
+	}
+	got := TruncateCSVRows(rand.New(rand.NewSource(1)), doc, 1)
+	lines := strings.Split(got, "\n")
+	if lines[0] != "h1,h2,h3" {
+		t.Error("header was truncated")
+	}
+	shorter := 0
+	for _, ln := range lines[1:] {
+		if len(ln) > 0 && len(ln) < len("a,b,c") {
+			shorter++
+		}
+	}
+	if shorter == 0 && got == doc {
+		t.Error("severity 1 truncated nothing")
+	}
+	a := TruncateCSVRows(rand.New(rand.NewSource(5)), doc, 0.7)
+	b := TruncateCSVRows(rand.New(rand.NewSource(5)), doc, 0.7)
+	if a != b {
+		t.Error("truncation not deterministic")
+	}
+}
+
+func TestConflictSerials(t *testing.T) {
+	mk := func() []trace.DriveTrace {
+		var ds []trace.DriveTrace
+		for _, s := range []string{"a", "b", "c", "d"} {
+			ds = append(ds, trace.DriveTrace{Meta: trace.DriveMeta{Serial: s, FailHour: -1}})
+		}
+		return ds
+	}
+	drives := mk()
+	out := ConflictSerials(rand.New(rand.NewSource(1)), drives, 0)
+	if !reflect.DeepEqual(out, drives) {
+		t.Error("severity 0 changed the fleet")
+	}
+	out = ConflictSerials(rand.New(rand.NewSource(1)), drives, 1)
+	if !reflect.DeepEqual(drives, mk()) {
+		t.Error("input fleet was mutated")
+	}
+	seen := map[string]int{}
+	for _, d := range out {
+		seen[d.Meta.Serial]++
+	}
+	conflict := false
+	for _, n := range seen {
+		if n > 1 {
+			conflict = true
+		}
+	}
+	if !conflict {
+		t.Error("severity 1 produced no serial conflicts")
+	}
+}

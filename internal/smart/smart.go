@@ -6,7 +6,10 @@
 // selected by non-parametric statistics in §IV-B.
 package smart
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // AttrID is a SMART attribute identifier as reported by drives
 // (e.g. 5 = Reallocated Sectors Count, 194 = Temperature Celsius).
@@ -349,4 +352,101 @@ func lookback(trace []Record, i, interval int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Value-domain bounds for corruption checks. Normalized SMART values live
+// in 1..253 by convention, with 0 and 254/255 appearing as sentinel or
+// vendor quirks; raw values are non-negative counters/measurements that fit
+// in 48 bits on every real drive. Anything outside these bounds (or
+// non-finite) is telemetry corruption, not drive state.
+const (
+	// MaxNormalized is the largest normalized value a collector can emit.
+	MaxNormalized = 255
+	// MaxRaw bounds raw counters (48-bit SMART raw fields < 2.9e14).
+	MaxRaw = 1e15
+)
+
+// ValidNormalized reports whether v is a plausible normalized SMART value:
+// finite and within [0, MaxNormalized].
+func ValidNormalized(v float64) bool {
+	return !math.IsNaN(v) && v >= 0 && v <= MaxNormalized
+}
+
+// ValidRaw reports whether v is a plausible raw SMART value: finite and
+// within [0, MaxRaw].
+func ValidRaw(v float64) bool {
+	return !math.IsNaN(v) && v >= 0 && v <= MaxRaw
+}
+
+// CorruptValues counts the attribute values of r that no healthy collector
+// emits: NaN, ±Inf, negative, or outside the attribute domain. A zero
+// return means the record is clean.
+func (r *Record) CorruptValues() int {
+	bad := 0
+	for i := 0; i < NumAttrs; i++ {
+		if !ValidNormalized(r.Normalized[i]) {
+			bad++
+		}
+		if !ValidRaw(r.Raw[i]) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// Repair overwrites every corrupt value of r with the corresponding value
+// from prev — last-observation-carried-forward, the standard repair for
+// point corruption in slowly-varying SMART streams — and returns how many
+// values it replaced. prev must itself be clean (e.g. the drive's last
+// accepted record) for the result to be clean.
+func (r *Record) Repair(prev *Record) int {
+	repaired := 0
+	for i := 0; i < NumAttrs; i++ {
+		if !ValidNormalized(r.Normalized[i]) {
+			r.Normalized[i] = prev.Normalized[i]
+			repaired++
+		}
+		if !ValidRaw(r.Raw[i]) {
+			r.Raw[i] = prev.Raw[i]
+			repaired++
+		}
+	}
+	return repaired
+}
+
+// SanitizeTrace drops the records of a chronological per-drive trace that
+// offline pipelines must not score: records carrying corrupt values and
+// records whose Hour does not strictly advance (duplicates and
+// out-of-order arrivals). It returns the surviving records and the number
+// dropped. A clean trace is returned as-is with no copy, so sanitizing
+// well-formed data is free.
+func SanitizeTrace(recs []Record) ([]Record, int) {
+	for i := range recs {
+		if badSample(recs, i) {
+			// First offender: copy the clean prefix, then filter the rest.
+			out := make([]Record, i, len(recs))
+			copy(out, recs[:i])
+			for j := i; j < len(recs); j++ {
+				r := recs[j]
+				if r.CorruptValues() > 0 {
+					continue
+				}
+				if n := len(out); n > 0 && r.Hour <= out[n-1].Hour {
+					continue
+				}
+				out = append(out, r)
+			}
+			return out, len(recs) - len(out)
+		}
+	}
+	return recs, 0
+}
+
+// badSample reports whether recs[i] would be dropped by SanitizeTrace
+// given that recs[:i] is clean.
+func badSample(recs []Record, i int) bool {
+	if recs[i].CorruptValues() > 0 {
+		return true
+	}
+	return i > 0 && recs[i].Hour <= recs[i-1].Hour
 }

@@ -1,6 +1,7 @@
 package smart
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -252,5 +253,99 @@ func TestExtractShortDst(t *testing.T) {
 	trace := traceWithHours(0)
 	if fs.Extract(trace, 0, make([]float64, 3)) {
 		t.Error("Extract should fail when dst is too short")
+	}
+}
+
+func TestValidValueDomains(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		v         float64
+		norm, raw bool
+	}{
+		{0, true, true},
+		{100, true, true},
+		{253, true, true},
+		{255, true, true},
+		{256, false, true},
+		{-1, false, false},
+		{nan, false, false},
+		{math.Inf(1), false, false},
+		{math.Inf(-1), false, false},
+		{2.8e14, false, true}, // 48-bit raw counter
+		{1e16, false, false},
+	}
+	for _, c := range cases {
+		if got := ValidNormalized(c.v); got != c.norm {
+			t.Errorf("ValidNormalized(%v) = %v, want %v", c.v, got, c.norm)
+		}
+		if got := ValidRaw(c.v); got != c.raw {
+			t.Errorf("ValidRaw(%v) = %v, want %v", c.v, got, c.raw)
+		}
+	}
+}
+
+func TestCorruptValuesAndRepair(t *testing.T) {
+	var prev, rec Record
+	for i := 0; i < NumAttrs; i++ {
+		prev.Normalized[i] = 100
+		prev.Raw[i] = float64(i)
+		rec.Normalized[i] = 90
+		rec.Raw[i] = float64(2 * i)
+	}
+	if n := rec.CorruptValues(); n != 0 {
+		t.Fatalf("clean record reports %d corrupt values", n)
+	}
+	rec.Normalized[3] = math.NaN()
+	rec.Raw[5] = math.Inf(1)
+	rec.Raw[7] = -4
+	if n := rec.CorruptValues(); n != 3 {
+		t.Fatalf("CorruptValues = %d, want 3", n)
+	}
+	if n := rec.Repair(&prev); n != 3 {
+		t.Fatalf("Repair = %d, want 3", n)
+	}
+	if rec.Normalized[3] != 100 || rec.Raw[5] != 5 || rec.Raw[7] != 7 {
+		t.Errorf("repair carried wrong values: %v %v %v",
+			rec.Normalized[3], rec.Raw[5], rec.Raw[7])
+	}
+	if rec.CorruptValues() != 0 {
+		t.Error("repaired record still corrupt")
+	}
+	// Untouched values survive.
+	if rec.Normalized[0] != 90 || rec.Raw[0] != 0 {
+		t.Error("repair touched clean values")
+	}
+}
+
+func TestSanitizeTraceCleanIsFree(t *testing.T) {
+	recs := traceWithHours(0, 1, 2, 3)
+	out, dropped := SanitizeTrace(recs)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d on a clean trace", dropped)
+	}
+	if &out[0] != &recs[0] {
+		t.Error("clean trace was copied")
+	}
+}
+
+func TestSanitizeTraceDrops(t *testing.T) {
+	recs := traceWithHours(0, 1, 2, 3, 4, 5)
+	recs[1].Normalized[0] = math.NaN() // corrupt values
+	recs[3].Hour = 2                   // duplicate hour vs. surviving predecessor
+	recs[4].Hour = 1                   // out of order
+	out, dropped := SanitizeTrace(recs)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if len(out) != 3 || out[0].Hour != 0 || out[1].Hour != 2 || out[2].Hour != 5 {
+		hours := make([]int, len(out))
+		for i := range out {
+			hours[i] = out[i].Hour
+		}
+		t.Errorf("surviving hours = %v, want [0 2 5]", hours)
+	}
+	// The input is never mutated.
+	if recs[1].Hour != 1 {
+		t.Error("SanitizeTrace mutated its input")
 	}
 }

@@ -1,0 +1,83 @@
+package trace
+
+import "fmt"
+
+// maxRowErrors caps how many detailed RowErrors a ParseStats retains.
+// Counters keep accumulating past the cap (Truncated records the excess),
+// so a pathological input cannot balloon memory while every row is still
+// accounted for.
+const maxRowErrors = 64
+
+// RowError pins one rejected or repaired input row to its physical
+// location, so operators can go from an import report straight to the
+// offending line of a multi-gigabyte dump.
+type RowError struct {
+	// Line is the 1-based physical line of the input (0 when the source
+	// has no line structure, e.g. a mid-stream accounting entry).
+	Line int
+	// Serial is the drive the row belongs to, when known.
+	Serial string
+	// Reason describes what was wrong with the row.
+	Reason string
+}
+
+// Error implements error.
+func (e RowError) Error() string {
+	switch {
+	case e.Line > 0 && e.Serial != "":
+		return fmt.Sprintf("trace: line %d (drive %s): %s", e.Line, e.Serial, e.Reason)
+	case e.Line > 0:
+		return fmt.Sprintf("trace: line %d: %s", e.Line, e.Reason)
+	case e.Serial != "":
+		return fmt.Sprintf("trace: drive %s: %s", e.Serial, e.Reason)
+	default:
+		return "trace: " + e.Reason
+	}
+}
+
+// ParseStats accounts for every row an importer consumed: how many were
+// used, dropped, or kept after discarding corrupt values. Importers never
+// skip silently — each drop or repair increments a counter and (up to
+// maxRowErrors) leaves a line-numbered RowError behind.
+type ParseStats struct {
+	// Rows is the number of data rows consumed (excluding the header).
+	Rows int
+	// Drives is the number of drives emitted.
+	Drives int
+	// Dropped counts rows rejected entirely.
+	Dropped int
+	// Repaired counts rows kept after discarding one or more corrupt
+	// values (treated as missing).
+	Repaired int
+	// Errors holds the first maxRowErrors detailed row errors.
+	Errors []RowError
+	// Truncated counts row errors beyond the Errors cap.
+	Truncated int
+}
+
+// note records a detailed row error, respecting the cap.
+func (s *ParseStats) note(line int, serial, reason string) {
+	if len(s.Errors) >= maxRowErrors {
+		s.Truncated++
+		return
+	}
+	s.Errors = append(s.Errors, RowError{Line: line, Serial: serial, Reason: reason})
+}
+
+// drop accounts one fully rejected row.
+func (s *ParseStats) drop(line int, serial, reason string) {
+	s.Dropped++
+	s.note(line, serial, reason)
+}
+
+// repair accounts one row kept with values discarded.
+func (s *ParseStats) repair(line int, serial, reason string) {
+	s.Repaired++
+	s.note(line, serial, reason)
+}
+
+// String summarizes the accounting for logs.
+func (s *ParseStats) String() string {
+	return fmt.Sprintf("rows=%d drives=%d dropped=%d repaired=%d (%d detailed errors, %d truncated)",
+		s.Rows, s.Drives, s.Dropped, s.Repaired, len(s.Errors), s.Truncated)
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -140,5 +141,155 @@ func TestParseSmartctl(t *testing.T) {
 func TestParseSmartctlNoTable(t *testing.T) {
 	if _, err := ParseSmartctl(strings.NewReader("smartctl version\nno table here\n"), 0); err == nil {
 		t.Error("input without attribute table accepted")
+	}
+}
+
+func TestReadBackblazeStatsAccounting(t *testing.T) {
+	// Line 2: clean. Line 3: NaN normalized (repaired). Line 4: duplicate
+	// snapshot of line 2's date carrying the failure marker (dropped, but
+	// the marker survives). Line 5: missing serial (dropped). Line 6: out
+	// of range raw (repaired).
+	in := `date,serial_number,model,failure,smart_5_normalized,smart_5_raw
+2024-01-01,X,M,0,100,1
+2024-01-02,X,M,0,NaN,2
+2024-01-01,X,M,1,90,9
+2024-01-03,,M,0,100,3
+2024-01-04,X,M,0,100,1e18
+`
+	drives, stats, err := ReadBackblazeStats(strings.NewReader(in), BackblazeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drives) != 1 {
+		t.Fatalf("drives = %d, want 1", len(drives))
+	}
+	x := drives[0]
+	if !x.Meta.Failed {
+		t.Error("failure marker on a duplicate row was lost")
+	}
+	if len(x.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(x.Records))
+	}
+	// The NaN normalized and out-of-range raw values were discarded.
+	if got := x.Records[1].NormalizedOf(smart.ReallocatedSectors); got != 0 {
+		t.Errorf("NaN value imported as %v", got)
+	}
+	if got := x.Records[2].RawOf(smart.ReallocatedSectors); got != 0 {
+		t.Errorf("out-of-range raw imported as %v", got)
+	}
+	if stats.Rows != 5 || stats.Dropped != 2 || stats.Repaired != 2 {
+		t.Errorf("stats = %+v, want rows=5 dropped=2 repaired=2", stats)
+	}
+	if len(stats.Errors) != 4 {
+		t.Fatalf("detailed errors = %d, want 4", len(stats.Errors))
+	}
+	// Every accounting entry is pinned to its input line.
+	wantLines := map[int]bool{3: true, 4: true, 5: true, 6: true}
+	for _, re := range stats.Errors {
+		if !wantLines[re.Line] {
+			t.Errorf("unexpected row error line %d: %v", re.Line, re)
+		}
+		delete(wantLines, re.Line)
+	}
+	if len(wantLines) != 0 {
+		t.Errorf("unaccounted lines: %v (errors: %v)", wantLines, stats.Errors)
+	}
+}
+
+func TestReadBackblazeConflictingModel(t *testing.T) {
+	in := `date,serial_number,model,failure,smart_5_raw
+2024-01-01,X,M1,0,1
+2024-01-02,X,M2,0,2
+`
+	drives, stats, err := ReadBackblazeStats(strings.NewReader(in), BackblazeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drives[0].Meta.Family != "M1" {
+		t.Errorf("family = %q, want first-seen M1", drives[0].Meta.Family)
+	}
+	if stats.Repaired != 1 || len(stats.Errors) != 1 {
+		t.Errorf("conflicting model unaccounted: %+v", stats)
+	}
+	if !strings.Contains(stats.Errors[0].Reason, "conflicting model") {
+		t.Errorf("reason = %q", stats.Errors[0].Reason)
+	}
+}
+
+func TestReadBackblazeErrorCap(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("date,serial_number,model,failure,smart_5_raw\n")
+	for i := 0; i < maxRowErrors+20; i++ {
+		sb.WriteString("2024-01-01,,M,0,1\n") // missing serial, dropped
+	}
+	_, stats, err := ReadBackblazeStats(strings.NewReader(sb.String()), BackblazeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != maxRowErrors+20 {
+		t.Errorf("dropped = %d, want %d", stats.Dropped, maxRowErrors+20)
+	}
+	if len(stats.Errors) != maxRowErrors || stats.Truncated != 20 {
+		t.Errorf("errors = %d truncated = %d", len(stats.Errors), stats.Truncated)
+	}
+}
+
+func TestParseSmartctlStatsSkipsCorruptRows(t *testing.T) {
+	in := `ID# ATTRIBUTE_NAME FLAG VALUE WORST THRESH TYPE UPDATED WHEN_FAILED RAW_VALUE
+  1 Raw_Read_Error_Rate 0x000f NaN 099 006 Pre-fail Always - 170589480
+  5 Reallocated_Sector_Ct 0x0033 100
+194 Temperature_Celsius 0x0022 062 045 000 Old_age Always - 1e30
+  9 Power_On_Hours 0x0032 092 092 000 Old_age Always - 7000
+`
+	rec, stats, err := ParseSmartctlStats(strings.NewReader(in), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only Power_On_Hours survives: NaN value, truncated row and
+	// out-of-domain raw are all skipped without aborting the parse.
+	if got := rec.RawOf(smart.PowerOnHours); got != 7000 {
+		t.Errorf("POH raw = %v, want 7000", got)
+	}
+	if got := rec.NormalizedOf(smart.RawReadErrorRate); got != 0 {
+		t.Errorf("NaN attribute imported as %v", got)
+	}
+	if stats.Dropped != 3 || len(stats.Errors) != 3 {
+		t.Fatalf("stats = %+v, want 3 dropped", stats)
+	}
+	for i, wantLine := range []int{2, 3, 4} {
+		if stats.Errors[i].Line != wantLine {
+			t.Errorf("error %d at line %d, want %d (%v)", i, stats.Errors[i].Line, wantLine, stats.Errors[i])
+		}
+	}
+}
+
+func TestTraceReaderLineNumberedErrors(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	mkRec := func(hour int) smart.Record {
+		var r smart.Record
+		r.Hour = hour
+		return r
+	}
+	err := w.WriteDrive(DriveMeta{Serial: "d0", Family: "W", FailHour: -1},
+		[]smart.Record{mkRec(3), mkRec(3)}) // duplicate hour
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	var re RowError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want RowError", err, err)
+	}
+	// Header is line 1, first record line 2, the offender line 3.
+	if re.Line != 3 || re.Serial != "d0" {
+		t.Errorf("RowError = %+v, want line 3 drive d0", re)
 	}
 }

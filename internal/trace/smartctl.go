@@ -10,7 +10,19 @@ import (
 	"hddcart/internal/smart"
 )
 
+// maxSmartctlLine bounds one line of smartctl output. Real tables are well
+// under 200 bytes per line; the cap keeps a corrupt or adversarial stream
+// from ballooning the scanner buffer.
+const maxSmartctlLine = 64 * 1024
+
 // ParseSmartctl extracts one SMART record from the output of
+// `smartctl -A`, discarding the row accounting. See ParseSmartctlStats.
+func ParseSmartctl(r io.Reader, hour int) (smart.Record, error) {
+	rec, _, err := ParseSmartctlStats(r, hour)
+	return rec, err
+}
+
+// ParseSmartctlStats extracts one SMART record from the output of
 // `smartctl -A` (the "Vendor Specific SMART Attributes with Thresholds"
 // table), the natural way to feed live drives into the Monitor. Lines
 // outside the attribute table are ignored; attributes not in the catalogue
@@ -19,29 +31,46 @@ import (
 // The table format is:
 //
 //	ID# ATTRIBUTE_NAME FLAG VALUE WORST THRESH TYPE UPDATED WHEN_FAILED RAW_VALUE
-func ParseSmartctl(r io.Reader, hour int) (smart.Record, error) {
+//
+// Corrupt table lines — truncated rows, unparseable or out-of-domain
+// values — never abort the parse and never reach the record: each is
+// skipped with a line-numbered RowError in the returned ParseStats, and
+// the remaining attributes still parse. The error return is reserved for
+// unreadable input and for streams with no attribute table at all.
+func ParseSmartctlStats(r io.Reader, hour int) (smart.Record, ParseStats, error) {
 	var rec smart.Record
+	var stats ParseStats
 	rec.Hour = hour
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxSmartctlLine)
 	inTable := false
 	parsed := 0
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "ID#") {
 			inTable = true
 			continue
 		}
-		if !inTable || line == "" {
+		if !inTable {
+			continue
+		}
+		if line == "" {
+			inTable = false // a blank line ends the table
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < 10 {
-			inTable = false // table ended
-			continue
-		}
 		id, err := strconv.Atoi(fields[0])
 		if err != nil {
-			inTable = false
+			inTable = false // non-numeric ID: the table ended
+			continue
+		}
+		stats.Rows++
+		if len(fields) < 10 {
+			// A numeric ID with missing columns is a truncated attribute
+			// row, not the end of the table: skip it, keep parsing.
+			stats.drop(lineNo, "", fmt.Sprintf("truncated attribute row for id %d (%d of 10 columns)", id, len(fields)))
 			continue
 		}
 		idx, ok := smart.Index(smart.AttrID(id))
@@ -49,8 +78,9 @@ func ParseSmartctl(r io.Reader, hour int) (smart.Record, error) {
 			continue
 		}
 		norm, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return rec, fmt.Errorf("trace: smartctl attribute %d: bad value %q", id, fields[3])
+		if err != nil || !smart.ValidNormalized(norm) {
+			stats.drop(lineNo, "", fmt.Sprintf("attribute %d: corrupt value %q", id, fields[3]))
+			continue
 		}
 		// Raw values can carry annotations like "31 (Min/Max 22/45)" or
 		// "113246208" — take the leading integer.
@@ -59,18 +89,19 @@ func ParseSmartctl(r io.Reader, hour int) (smart.Record, error) {
 			rawField = rawField[:cut]
 		}
 		raw, err := strconv.ParseFloat(rawField, 64)
-		if err != nil {
-			return rec, fmt.Errorf("trace: smartctl attribute %d: bad raw %q", id, fields[9])
+		if err != nil || !smart.ValidRaw(raw) {
+			stats.drop(lineNo, "", fmt.Sprintf("attribute %d: corrupt raw %q", id, fields[9]))
+			continue
 		}
 		rec.Normalized[idx] = norm
 		rec.Raw[idx] = raw
 		parsed++
 	}
 	if err := sc.Err(); err != nil {
-		return rec, fmt.Errorf("trace: smartctl scan: %w", err)
+		return rec, stats, fmt.Errorf("trace: smartctl scan: %w", err)
 	}
 	if parsed == 0 {
-		return rec, fmt.Errorf("trace: no SMART attribute table found")
+		return rec, stats, fmt.Errorf("trace: no SMART attribute table found")
 	}
-	return rec, nil
+	return rec, stats, nil
 }

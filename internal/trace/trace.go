@@ -113,11 +113,14 @@ func (w *Writer) Flush() error {
 }
 
 // Reader streams drive traces from CSV. Rows of one drive must be
-// contiguous.
+// contiguous. The native format is machine-generated, so the reader is
+// strict — any malformed row is an error — but every error it returns is a
+// RowError pinned to the offending input line.
 type Reader struct {
-	cr      *csv.Reader
-	pending []string // first row of the next drive
-	eof     bool
+	cr          *csv.Reader
+	pending     []string // first row of the next drive
+	pendingLine int      // input line of the pending row
+	eof         bool
 }
 
 // NewReader returns a Reader consuming r. It validates the header.
@@ -140,7 +143,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Next returns the next drive's trace; io.EOF when the file is exhausted.
 func (r *Reader) Next() (DriveTrace, error) {
 	var dt DriveTrace
-	row := r.pending
+	row, line := r.pending, r.pendingLine
 	r.pending = nil
 	if row == nil {
 		if r.eof {
@@ -154,8 +157,9 @@ func (r *Reader) Next() (DriveTrace, error) {
 		if err != nil {
 			return dt, fmt.Errorf("trace: read row: %w", err)
 		}
+		line, _ = r.cr.FieldPos(0)
 	}
-	meta, rec, err := parseRow(row)
+	meta, rec, err := parseRow(row, line)
 	if err != nil {
 		return dt, err
 	}
@@ -170,16 +174,18 @@ func (r *Reader) Next() (DriveTrace, error) {
 		if err != nil {
 			return dt, fmt.Errorf("trace: read row: %w", err)
 		}
+		line, _ = r.cr.FieldPos(0)
 		if row[0] != dt.Meta.Serial {
-			r.pending = row
+			r.pending, r.pendingLine = row, line
 			return dt, nil
 		}
-		_, rec, err := parseRow(row)
+		_, rec, err := parseRow(row, line)
 		if err != nil {
 			return dt, err
 		}
 		if n := len(dt.Records); n > 0 && rec.Hour <= dt.Records[n-1].Hour {
-			return dt, fmt.Errorf("trace: drive %s rows not chronological at hour %d", dt.Meta.Serial, rec.Hour)
+			return dt, RowError{Line: line, Serial: dt.Meta.Serial,
+				Reason: fmt.Sprintf("rows not chronological at hour %d", rec.Hour)}
 		}
 		dt.Records = append(dt.Records, rec)
 	}
@@ -200,32 +206,35 @@ func (r *Reader) ReadAll() ([]DriveTrace, error) {
 	}
 }
 
-func parseRow(row []string) (DriveMeta, smart.Record, error) {
+func parseRow(row []string, line int) (DriveMeta, smart.Record, error) {
 	var meta DriveMeta
 	var rec smart.Record
 	meta.Serial = row[0]
 	meta.Family = row[1]
+	rowErr := func(format string, args ...any) error {
+		return RowError{Line: line, Serial: meta.Serial, Reason: fmt.Sprintf(format, args...)}
+	}
 	failed, err := strconv.ParseBool(row[2])
 	if err != nil {
-		return meta, rec, fmt.Errorf("trace: bad failed flag %q: %w", row[2], err)
+		return meta, rec, rowErr("bad failed flag %q: %v", row[2], err)
 	}
 	meta.Failed = failed
 	meta.FailHour, err = strconv.Atoi(row[3])
 	if err != nil {
-		return meta, rec, fmt.Errorf("trace: bad fail_hour %q: %w", row[3], err)
+		return meta, rec, rowErr("bad fail_hour %q: %v", row[3], err)
 	}
 	rec.Hour, err = strconv.Atoi(row[4])
 	if err != nil {
-		return meta, rec, fmt.Errorf("trace: bad hour %q: %w", row[4], err)
+		return meta, rec, rowErr("bad hour %q: %v", row[4], err)
 	}
 	for i := 0; i < smart.NumAttrs; i++ {
 		rec.Normalized[i], err = strconv.ParseFloat(row[5+i], 64)
 		if err != nil {
-			return meta, rec, fmt.Errorf("trace: bad normalized value %q: %w", row[5+i], err)
+			return meta, rec, rowErr("bad normalized value %q: %v", row[5+i], err)
 		}
 		rec.Raw[i], err = strconv.ParseFloat(row[5+smart.NumAttrs+i], 64)
 		if err != nil {
-			return meta, rec, fmt.Errorf("trace: bad raw value %q: %w", row[5+smart.NumAttrs+i], err)
+			return meta, rec, rowErr("bad raw value %q: %v", row[5+smart.NumAttrs+i], err)
 		}
 	}
 	return meta, rec, nil

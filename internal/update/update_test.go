@@ -137,3 +137,101 @@ func TestPlans(t *testing.T) {
 		}
 	}
 }
+
+// TestTrainWeeksUnderWeekGaps injects telemetry blackouts — prediction
+// weeks with no data at all — into every plan's schedule and checks the
+// training alignment of the surviving weeks is unchanged. TrainWeeks is a
+// pure function of the absolute (calendar) week number, so a missing week
+// must never shift the replacing-block alignment of the weeks after it:
+// a consumer that counted observed weeks instead would slide its blocks
+// after every gap and train on the wrong data.
+func TestTrainWeeksUnderWeekGaps(t *testing.T) {
+	gaps := [][]int{
+		{},           // no gap: the reference schedule itself
+		{3},          // single missing week
+		{4, 5},       // blackout across a block boundary
+		{2, 3, 4, 5}, // long outage from the very first prediction week
+		{7},          // gap at the end
+	}
+	for _, plan := range Plans() {
+		// Dense reference alignment, computed with every week present.
+		type align struct{ start, end int }
+		ref := make(map[int]align)
+		for w := 2; w <= 12; w++ {
+			s, e, _, err := plan.TrainWeeks(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[w] = align{s, e}
+		}
+		for _, gap := range gaps {
+			missing := make(map[int]bool, len(gap))
+			for _, w := range gap {
+				missing[w] = true
+			}
+			for w := 2; w <= 12; w++ {
+				if missing[w] {
+					continue
+				}
+				s, e, _, err := plan.TrainWeeks(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (align{s, e}) != ref[w] {
+					t.Errorf("%v: week %d with gap %v trains on [%d,%d], want [%d,%d]",
+						plan, w, gap, s, e, ref[w].start, ref[w].end)
+				}
+			}
+		}
+	}
+}
+
+// TestReplacingBlockInvariants pins the block geometry for every cycle over
+// a long horizon: once complete blocks exist, training ranges are exactly c
+// weeks, end on block boundaries, and never touch the prediction week.
+func TestReplacingBlockInvariants(t *testing.T) {
+	for c := 1; c <= 4; c++ {
+		p := Plan{Strategy: Replacing, CycleWeeks: c}
+		prevStart, prevEnd := 0, 0
+		for w := 2; w <= 40; w++ {
+			start, end, retrain, err := p.TrainWeeks(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if start < 1 || end < start || end >= w {
+				t.Fatalf("c=%d week %d: impossible range [%d,%d]", c, w, start, end)
+			}
+			if w > c { // a complete block exists
+				if end-start+1 != c {
+					t.Errorf("c=%d week %d: block [%d,%d] is not %d weeks", c, w, start, end, c)
+				}
+				if end%c != 0 {
+					t.Errorf("c=%d week %d: block [%d,%d] not aligned to the cycle", c, w, start, end)
+				}
+			}
+			// The retrain flag must fire exactly when the range changes
+			// along the dense schedule.
+			changed := start != prevStart || end != prevEnd
+			if w > 2 && retrain != changed {
+				t.Errorf("c=%d week %d: retrain=%v but range change=%v", c, w, retrain, changed)
+			}
+			prevStart, prevEnd = start, end
+		}
+	}
+}
+
+// TestTrainWeeksRejectsBadWeeks pins the error cases: prediction before
+// week 2 and invalid plans are construction-time errors, not clamps.
+func TestTrainWeeksRejectsBadWeeks(t *testing.T) {
+	for _, w := range []int{-1, 0, 1} {
+		if _, _, _, err := (Plan{Strategy: Accumulation}).TrainWeeks(w); err == nil {
+			t.Errorf("week %d accepted", w)
+		}
+	}
+	if _, _, _, err := (Plan{Strategy: Replacing}).TrainWeeks(3); err == nil {
+		t.Error("replacing with no cycle accepted")
+	}
+	if _, _, _, err := (Plan{Strategy: Strategy(99)}).TrainWeeks(3); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

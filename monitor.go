@@ -8,18 +8,24 @@ import (
 	"hddcart/internal/smart"
 )
 
+// DefaultBadSampleBudget is the per-drive error budget used when
+// MonitorConfig.BadSampleBudget is 0: after this many consecutive corrupt
+// samples the drive is quarantined.
+const DefaultBadSampleBudget = 8
+
 // MonitorConfig configures an online Monitor.
 type MonitorConfig struct {
 	// Features is the model input layout.
 	Features FeatureSet
 	// Model scores samples (a trained Tree or Network).
 	Model Predictor
-	// Voters is the detection window N. For binary models a drive alarms
-	// when more than N/2 of its last N samples score below Threshold;
-	// for health-degree models (UseMean) when the window mean does.
+	// Voters is the detection window N (≥ 1). For binary models a drive
+	// alarms when more than N/2 of its last N samples score below
+	// Threshold; for health-degree models (UseMean) when the window mean
+	// does.
 	Voters int
 	// Threshold is the alarm cut (0 for ±1 classifiers, a health degree
-	// such as −0.3 for regression models).
+	// such as −0.3 for regression models). Must lie in [-1, 1].
 	Threshold float64
 	// UseMean selects mean-threshold (health-degree) detection instead
 	// of voting.
@@ -27,6 +33,43 @@ type MonitorConfig struct {
 	// HistoryHours bounds how much per-drive history is retained for
 	// change-rate lookback; 0 means the feature set's requirement + 2 h.
 	HistoryHours int
+
+	// BadSampleBudget is the per-drive error budget: after this many
+	// consecutive corrupt samples (non-finite or out-of-domain values)
+	// the drive is quarantined — further observations are dropped until
+	// Resolve — because a stream that corrupt is telemetry failure, not
+	// drive state. 0 means DefaultBadSampleBudget; negative disables
+	// quarantine.
+	BadSampleBudget int
+	// StaleAfterHours resets a drive's score window when the gap between
+	// consecutive samples exceeds it: predictions from before a long
+	// telemetry blackout say nothing about the drive's health on the
+	// other side, so letting them vote would alarm (or clear) on stale
+	// evidence. 0 disables stale detection.
+	StaleAfterHours int
+}
+
+// Validate rejects configurations that would silently degenerate.
+func (cfg *MonitorConfig) Validate() error {
+	if len(cfg.Features) == 0 {
+		return errors.New("hddcart: monitor needs a feature set")
+	}
+	if cfg.Model == nil {
+		return errors.New("hddcart: monitor needs a model")
+	}
+	if cfg.Voters < 1 {
+		return fmt.Errorf("hddcart: monitor window N must be positive, got %d", cfg.Voters)
+	}
+	if !(cfg.Threshold >= -1 && cfg.Threshold <= 1) { // NaN fails too
+		return fmt.Errorf("hddcart: monitor threshold %v outside [-1, 1]", cfg.Threshold)
+	}
+	if cfg.HistoryHours < 0 {
+		return fmt.Errorf("hddcart: monitor history %d h must be non-negative", cfg.HistoryHours)
+	}
+	if cfg.StaleAfterHours < 0 {
+		return fmt.Errorf("hddcart: monitor stale timeout %d h must be non-negative", cfg.StaleAfterHours)
+	}
+	return nil
 }
 
 // Monitor watches a drive population online. Feed every new SMART record
@@ -36,15 +79,27 @@ type MonitorConfig struct {
 // health degree so operators handle the most critical drives first
 // (paper §III-B).
 //
+// Real telemetry arrives late, duplicated, truncated or NaN-laden, so the
+// monitor enforces an explicit degradation policy instead of scoring
+// whatever it is handed: out-of-order and duplicate records are dropped;
+// corrupt values are repaired by carrying the drive's last accepted value
+// forward (or the sample dropped when there is no history); each corrupt
+// arrival consumes the drive's error budget and exhausting it quarantines
+// the drive; a gap longer than StaleAfterHours resets the vote window.
+// Every decision is counted in Stats so operators can watch drop, repair
+// and quarantine rates instead of discovering them during an incident.
+//
 // Monitor is not safe for concurrent use; wrap it with a mutex if needed.
 type Monitor struct {
 	cfg     MonitorConfig
 	model   Predictor // compiled form of cfg.Model (bit-identical scores)
+	budget  int       // resolved BadSampleBudget (0 = disabled)
 	x       []float64 // feature scratch, reused across Observe calls
 	drives  map[string]*monitoredDrive
 	queue   health.Queue
 	warned  map[string]bool
 	serials map[int]string // queue ID → serial
+	stats   MonitorStats
 }
 
 // MonitorWarning is an outstanding warning with its drive serial.
@@ -57,23 +112,48 @@ type MonitorWarning struct {
 	Hour int
 }
 
+// MonitorStats counts every ingest decision the monitor has made, so the
+// data-quality regime the fleet is operating under is observable. Rates
+// are per Observe call: e.g. Repaired/Observed is the repair rate.
+type MonitorStats struct {
+	// Observed is the total number of Observe calls.
+	Observed int
+	// Scored is the number of samples that reached the model.
+	Scored int
+	// DroppedOutOfOrder counts records older than the drive's newest.
+	DroppedOutOfOrder int
+	// DroppedDuplicate counts records re-delivered for an already
+	// observed hour.
+	DroppedDuplicate int
+	// DroppedInvalid counts corrupt records dropped because the drive had
+	// no history to repair from.
+	DroppedInvalid int
+	// DroppedQuarantined counts records rejected from quarantined drives.
+	DroppedQuarantined int
+	// Repaired counts corrupt records kept after carrying the drive's
+	// last accepted values forward.
+	Repaired int
+	// StaleResets counts vote windows reset after telemetry blackouts.
+	StaleResets int
+	// QuarantineEvents counts drives entering quarantine.
+	QuarantineEvents int
+	// Quarantined is the number of drives currently quarantined.
+	Quarantined int
+}
+
 // monitoredDrive is the per-drive sliding state.
 type monitoredDrive struct {
-	history []smart.Record // bounded chronological history
-	scores  []float64      // last N scores
-	votes   int            // failed votes within the window
+	history     []smart.Record // bounded chronological history
+	scores      []float64      // last N scores
+	votes       int            // failed votes within the window
+	badRun      int            // consecutive corrupt arrivals
+	quarantined bool
 }
 
 // NewMonitor validates the configuration and returns an empty monitor.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
-	if len(cfg.Features) == 0 {
-		return nil, errors.New("hddcart: monitor needs a feature set")
-	}
-	if cfg.Model == nil {
-		return nil, errors.New("hddcart: monitor needs a model")
-	}
-	if cfg.Voters < 1 {
-		cfg.Voters = 1
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.HistoryHours == 0 {
 		cfg.HistoryHours = cfg.Features.MaxInterval() + 2
@@ -82,9 +162,17 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		return nil, fmt.Errorf("hddcart: history %d h shorter than change-rate lookback %d h",
 			cfg.HistoryHours, cfg.Features.MaxInterval())
 	}
+	budget := cfg.BadSampleBudget
+	switch {
+	case budget == 0:
+		budget = DefaultBadSampleBudget
+	case budget < 0:
+		budget = 0 // disabled
+	}
 	return &Monitor{
 		cfg:     cfg,
 		model:   CompileModel(cfg.Model),
+		budget:  budget,
 		x:       make([]float64, len(cfg.Features)),
 		drives:  make(map[string]*monitoredDrive),
 		warned:  make(map[string]bool),
@@ -95,15 +183,62 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // Observe ingests one SMART record for a drive and returns the new warning
 // if this observation tripped the detection rule (at most one outstanding
 // warning per drive; later observations update its health in the queue).
+// Records that violate the degradation policy are repaired or dropped and
+// accounted in Stats; they never trip the rule and never panic.
 func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
+	m.stats.Observed++
 	d := m.drives[driveID]
 	if d == nil {
 		d = &monitoredDrive{}
 		m.drives[driveID] = d
 	}
-	// Drop out-of-order records; SMART collectors poll monotonically.
-	if n := len(d.history); n > 0 && rec.Hour <= d.history[n-1].Hour {
+	if d.quarantined {
+		m.stats.DroppedQuarantined++
 		return MonitorWarning{}, false
+	}
+	// Drop out-of-order and re-delivered records; SMART collectors poll
+	// monotonically, so these are transport faults (retries, conflicting
+	// serials), not drive state.
+	if n := len(d.history); n > 0 {
+		last := d.history[n-1].Hour
+		if rec.Hour == last {
+			m.stats.DroppedDuplicate++
+			return MonitorWarning{}, false
+		}
+		if rec.Hour < last {
+			m.stats.DroppedOutOfOrder++
+			return MonitorWarning{}, false
+		}
+		if m.cfg.StaleAfterHours > 0 && rec.Hour-last > m.cfg.StaleAfterHours {
+			// Telemetry blackout: predictions from before the gap must
+			// not vote on the drive's health after it.
+			d.scores = d.scores[:0]
+			d.votes = 0
+			m.stats.StaleResets++
+		}
+	}
+	// Corrupt values consume the drive's error budget; repair what can be
+	// repaired, drop what cannot, quarantine when the budget runs out.
+	if rec.Hour < 0 || rec.CorruptValues() > 0 {
+		d.badRun++
+		if m.budget > 0 && d.badRun >= m.budget {
+			d.quarantined = true
+			d.history = nil
+			d.scores = nil
+			d.votes = 0
+			m.stats.QuarantineEvents++
+			m.stats.Quarantined++
+			m.stats.DroppedInvalid++
+			return MonitorWarning{}, false
+		}
+		if rec.Hour < 0 || len(d.history) == 0 {
+			m.stats.DroppedInvalid++
+			return MonitorWarning{}, false
+		}
+		rec.Repair(&d.history[len(d.history)-1])
+		m.stats.Repaired++
+	} else {
+		d.badRun = 0
 	}
 	d.history = append(d.history, rec)
 	// Trim history older than the lookback horizon.
@@ -121,6 +256,13 @@ func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
 		return MonitorWarning{}, false // not enough history for change rates yet
 	}
 	score := m.model.Predict(m.x)
+	if score != score {
+		// An invalid prediction must be excluded from the window, not
+		// counted as a healthy vote.
+		m.stats.DroppedInvalid++
+		return MonitorWarning{}, false
+	}
+	m.stats.Scored++
 
 	d.scores = append(d.scores, score)
 	if score < m.cfg.Threshold {
@@ -174,9 +316,23 @@ func (m *Monitor) NextWarning() (MonitorWarning, bool) {
 // Outstanding returns the number of unprocessed warnings.
 func (m *Monitor) Outstanding() int { return m.queue.Len() }
 
-// Resolve clears a drive's warning state (after replacement/migration) so
-// future observations can warn again.
+// Stats returns the ingest accounting so far.
+func (m *Monitor) Stats() MonitorStats { return m.stats }
+
+// Quarantined reports whether a drive is currently quarantined for
+// exhausting its error budget. Resolve lifts the quarantine.
+func (m *Monitor) Quarantined(driveID string) bool {
+	d := m.drives[driveID]
+	return d != nil && d.quarantined
+}
+
+// Resolve clears a drive's warning and quarantine state (after
+// replacement/migration or a telemetry fix) so future observations can
+// warn again.
 func (m *Monitor) Resolve(driveID string) {
+	if d := m.drives[driveID]; d != nil && d.quarantined {
+		m.stats.Quarantined--
+	}
 	delete(m.warned, driveID)
 	delete(m.drives, driveID)
 }

@@ -78,7 +78,8 @@ func TestMonitorCompiledModelEquivalence(t *testing.T) {
 	var y []float64
 	for i := 0; i < 400; i++ {
 		v := rng.Float64()*2 - 1
-		x = append(x, []float64{v})
+		// Train in the same offset domain recAt feeds the monitor.
+		x = append(x, []float64{v + monitorScoreOffset})
 		if v < -0.2 {
 			y = append(y, -1)
 		} else {

@@ -1,15 +1,22 @@
 package hddcart
 
 import (
+	"math"
 	"testing"
 
 	"hddcart/internal/smart"
 )
 
-// constModel returns the first feature as the score.
+// monitorScoreOffset shifts test scores into the valid normalized SMART
+// domain [0,255]: recAt stores score+offset and firstFeatureModel subtracts
+// it again, so tests can speak in health degrees (±1) without the records
+// being rejected as out-of-domain by the degradation policy.
+const monitorScoreOffset = 100
+
+// firstFeatureModel maps the first feature back to the test's score scale.
 type firstFeatureModel struct{}
 
-func (firstFeatureModel) Predict(x []float64) float64 { return x[0] }
+func (firstFeatureModel) Predict(x []float64) float64 { return x[0] - monitorScoreOffset }
 
 // monitorFeatures is a single-attribute feature set.
 var monitorFeatures = FeatureSet{{Attr: smart.RawReadErrorRate, Kind: smart.Normalized}}
@@ -18,7 +25,7 @@ func recAt(hour int, v float64) Record {
 	var r Record
 	r.Hour = hour
 	i, _ := smart.Index(smart.RawReadErrorRate)
-	r.Normalized[i] = v
+	r.Normalized[i] = v + monitorScoreOffset
 	return r
 }
 
@@ -44,9 +51,34 @@ func TestNewMonitorValidation(t *testing.T) {
 		t.Error("missing model accepted")
 	}
 	if _, err := NewMonitor(MonitorConfig{
-		Features: CriticalFeatures(), Model: firstFeatureModel{}, HistoryHours: 2,
+		Features: CriticalFeatures(), Model: firstFeatureModel{}, Voters: 1, HistoryHours: 2,
 	}); err == nil {
 		t.Error("history shorter than lookback accepted")
+	}
+	// Degenerate windows, thresholds and timeouts are construction-time
+	// errors, not silently clamped defaults.
+	if _, err := NewMonitor(MonitorConfig{Features: monitorFeatures, Model: firstFeatureModel{}}); err == nil {
+		t.Error("zero voting window accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{}, Voters: -3,
+	}); err == nil {
+		t.Error("negative voting window accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{}, Voters: 1, Threshold: -2,
+	}); err == nil {
+		t.Error("threshold outside [-1,1] accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{}, Voters: 1, StaleAfterHours: -1,
+	}); err == nil {
+		t.Error("negative stale timeout accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{}, Voters: 1, HistoryHours: -5,
+	}); err == nil {
+		t.Error("negative history accepted")
 	}
 }
 
@@ -146,17 +178,23 @@ func TestMonitorResolve(t *testing.T) {
 	}
 }
 
+// rateModel scores the first feature as-is (change rates carry no offset:
+// the recAt shift cancels in the difference).
+type rateModel struct{}
+
+func (rateModel) Predict(x []float64) float64 { return x[0] }
+
 func TestMonitorChangeRateLookback(t *testing.T) {
 	// With a change-rate feature the monitor needs history before it can
 	// score at all.
 	features := FeatureSet{{Attr: smart.RawReadErrorRate, Kind: smart.ChangeRate, IntervalHours: 6}}
 	m, err := NewMonitor(MonitorConfig{
-		Features: features, Model: firstFeatureModel{}, Voters: 1, Threshold: -2,
+		Features: features, Model: rateModel{}, Voters: 1, Threshold: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Declining value: rate −1/h → Δ6h = −6 < −2 once lookback exists.
+	// Declining value: rate −1/h → Δ6h = −6 < −1 once lookback exists.
 	warned := false
 	for h := 0; h < 10; h++ {
 		if _, ok := m.Observe("d", recAt(h, float64(100-h))); ok {
@@ -168,5 +206,160 @@ func TestMonitorChangeRateLookback(t *testing.T) {
 	}
 	if !warned {
 		t.Error("never warned despite steady decline")
+	}
+}
+
+// corruptAt builds a record whose first attribute is NaN (invalid domain).
+func corruptAt(hour int) Record {
+	var r Record
+	r.Hour = hour
+	i, _ := smart.Index(smart.RawReadErrorRate)
+	r.Normalized[i] = math.NaN()
+	return r
+}
+
+func TestMonitorDegradationCounters(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	m.Observe("d", recAt(0, 1))
+	m.Observe("d", recAt(0, 1))  // duplicate hour
+	m.Observe("d", recAt(-1, 1)) // negative hour after history → out of order
+	m.Observe("d", recAt(3, 1))
+	m.Observe("d", recAt(2, 1)) // out of order
+	st := m.Stats()
+	if st.Observed != 5 || st.Scored != 2 {
+		t.Errorf("observed/scored = %d/%d, want 5/2", st.Observed, st.Scored)
+	}
+	if st.DroppedDuplicate != 1 || st.DroppedOutOfOrder != 2 {
+		t.Errorf("dup/ooo = %d/%d, want 1/2", st.DroppedDuplicate, st.DroppedOutOfOrder)
+	}
+}
+
+func TestMonitorRepairsCorruptByCarryForward(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	// Corrupt with no history: dropped outright.
+	if _, ok := m.Observe("d", corruptAt(0)); ok {
+		t.Error("corrupt first sample warned")
+	}
+	if st := m.Stats(); st.DroppedInvalid != 1 {
+		t.Errorf("DroppedInvalid = %d, want 1", st.DroppedInvalid)
+	}
+	// Healthy history, then corrupt samples: repaired by carrying the last
+	// good (healthy) value forward, so no warning can fire.
+	m.Observe("d", recAt(1, 1))
+	for h := 2; h < 6; h++ {
+		if _, ok := m.Observe("d", corruptAt(h)); ok {
+			t.Fatalf("repaired sample warned at hour %d", h)
+		}
+	}
+	if st := m.Stats(); st.Repaired != 4 {
+		t.Errorf("Repaired = %d, want 4", st.Repaired)
+	}
+}
+
+func TestMonitorQuarantineAfterBudget(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{},
+		Voters: 1, BadSampleBudget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe("d", recAt(0, 1))
+	for h := 1; h <= 3; h++ {
+		m.Observe("d", corruptAt(h))
+	}
+	if !m.Quarantined("d") {
+		t.Fatal("drive not quarantined after exhausting its error budget")
+	}
+	// Further observations — even clean, failing ones — are rejected.
+	if _, ok := m.Observe("d", recAt(10, -1)); ok {
+		t.Error("quarantined drive warned")
+	}
+	st := m.Stats()
+	if st.QuarantineEvents != 1 || st.Quarantined != 1 || st.DroppedQuarantined != 1 {
+		t.Errorf("quarantine stats = %+v", st)
+	}
+	// A clean run below the budget resets it: no quarantine.
+	m.Observe("e", recAt(0, 1))
+	m.Observe("e", corruptAt(1))
+	m.Observe("e", corruptAt(2))
+	m.Observe("e", recAt(3, 1)) // resets badRun
+	m.Observe("e", corruptAt(4))
+	m.Observe("e", corruptAt(5))
+	if m.Quarantined("e") {
+		t.Error("interrupted bad run quarantined the drive")
+	}
+	// Resolve lifts the quarantine; the (repaired/replaced) drive warns again.
+	m.Resolve("d")
+	if m.Quarantined("d") {
+		t.Error("Resolve did not lift quarantine")
+	}
+	if m.Stats().Quarantined != 0 {
+		t.Errorf("Quarantined gauge = %d after Resolve, want 0", m.Stats().Quarantined)
+	}
+	if _, ok := m.Observe("d", recAt(20, -1)); !ok {
+		t.Error("resolved drive cannot warn")
+	}
+}
+
+func TestMonitorStaleWindowReset(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{},
+		Voters: 3, StaleAfterHours: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two failed votes, then a telemetry blackout longer than 24 h: the old
+	// votes must not combine with one fresh failed vote into an alarm.
+	m.Observe("d", recAt(0, -1))
+	m.Observe("d", recAt(1, -1))
+	if _, ok := m.Observe("d", recAt(100, -1)); ok {
+		t.Error("stale votes survived the blackout and alarmed")
+	}
+	if st := m.Stats(); st.StaleResets != 1 {
+		t.Errorf("StaleResets = %d, want 1", st.StaleResets)
+	}
+	// After the reset a full fresh window still alarms.
+	warned := false
+	for h := 101; h < 104; h++ {
+		if _, ok := m.Observe("d", recAt(h, -1)); ok {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("drive never re-alarmed on fresh post-blackout evidence")
+	}
+}
+
+// nanModel poisons the score for a marker value and is healthy otherwise.
+type nanModel struct{}
+
+func (nanModel) Predict(x []float64) float64 {
+	if x[0] == 0 { // marker: recAt(h, -monitorScoreOffset)
+		return math.NaN()
+	}
+	return x[0] - monitorScoreOffset
+}
+
+func TestMonitorExcludesInvalidPredictions(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: nanModel{}, Voters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN scores must be excluded from the window — not counted as healthy
+	// votes — so two failed votes plus a NaN is not yet a full window.
+	m.Observe("d", recAt(0, -1))
+	m.Observe("d", recAt(1, -monitorScoreOffset)) // scores NaN
+	if _, ok := m.Observe("d", recAt(2, -1)); ok {
+		t.Error("alarmed on a window padded with an invalid prediction")
+	}
+	if st := m.Stats(); st.DroppedInvalid != 1 || st.Scored != 2 {
+		t.Errorf("stats = %+v, want DroppedInvalid=1 Scored=2", st)
+	}
+	if _, ok := m.Observe("d", recAt(3, -1)); !ok {
+		t.Error("third valid failed vote did not alarm")
 	}
 }
