@@ -1,12 +1,19 @@
 // Command benchjson converts `go test -bench` text output into a stable
-// JSON report, so inference-performance numbers (ns/op, ns/sample,
-// allocs/op, fleet-scan Msamples/s) can be committed and diffed across
-// changes. Repeated runs of the same benchmark (-count > 1) are collapsed
-// to their per-metric medians, which resists the odd noisy run.
+// JSON report, so performance numbers (ns/op, ns/sample, allocs/op,
+// fleet-scan Msamples/s) can be committed and diffed across changes.
+// Repeated runs of the same benchmark (-count > 1) are collapsed to their
+// per-metric medians, which resists the odd noisy run.
+//
+// With -baseline it instead gates against a committed report: the fresh
+// run's ns/op medians are compared to the baseline's and the process
+// exits non-zero when any shared benchmark regressed beyond -tolerance
+// (default 0.10 = 10%). Benchmarks without a baseline entry are skipped,
+// so CI may run any subset.
 //
 // Usage:
 //
 //	go test -bench 'Predict|FleetScan' -count 3 . | benchjson -o BENCH_inference.json
+//	go test -bench 'Train' -benchtime 1x . | benchjson -baseline BENCH_training.json -tolerance 2.5
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 func main() {
 	in := flag.String("i", "", "benchmark output to read (default stdin)")
 	out := flag.String("o", "", "JSON file to write (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to diff against; exit non-zero on ns/op regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op slowdown vs -baseline (0.10 = 10%)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -37,6 +46,27 @@ func main() {
 	}
 	if len(report.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	if *baseline != "" {
+		if *tolerance < 0 {
+			fatal(fmt.Errorf("negative -tolerance %v", *tolerance))
+		}
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parse baseline %s: %w", *baseline, err))
+		}
+		regs := Diff(&base, report, *tolerance)
+		writeDiff(os.Stdout, report, regs, comparedCount(&base, report), *tolerance)
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

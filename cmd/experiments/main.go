@@ -35,6 +35,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "fleet seed")
 	workers := fs.Int("workers", 0, "worker-pool size for training and evaluation (0 = all cores); results are identical for any value")
 	annEpochs := fs.Int("ann-epochs", 150, "BP ANN training epoch budget")
+	maxBins := fs.Int("max-bins", 0, "histogram-binned tree training with this bin budget (0 = exact split search, max 255); results are bit-identical for any worker count at a fixed value")
 	runList := fs.String("run", "", "comma-separated experiment ids (default: all); known: "+
 		strings.Join(experiments.IDs(), ","))
 	svgDir := fs.String("svg-dir", "", "also render figure charts as SVG files into this directory")
@@ -58,6 +59,7 @@ func run(args []string) error {
 		FailedScale: *failedScale,
 		Workers:     *workers,
 		ANNEpochs:   *annEpochs,
+		MaxBins:     *maxBins,
 	}
 	fmt.Printf("# hddcart experiment suite: seed %d, good ×%g, failed ×%g\n\n",
 		cfg.Seed, cfg.GoodScale, cfg.FailedScale)

@@ -207,6 +207,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "sampling seed")
 	epochs := fs.Int("ann-epochs", 400, "ANN epochs")
 	workers := fs.Int("workers", 0, "tree-training worker-pool size (0 = all cores); the trained model is identical for any value")
+	maxBins := fs.Int("max-bins", 0, "histogram-binned tree training with this bin budget (0 = exact split search, max 255)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,7 +260,7 @@ func cmdTrain(args []string) error {
 	switch *kind {
 	case "ct":
 		x, y, w := ds.XMatrix()
-		tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10, Workers: *workers})
+		tree, err := cart.TrainClassifier(x, y, w, cart.Params{LossFA: 10, Workers: *workers, MaxBins: *maxBins})
 		if err != nil {
 			return err
 		}
@@ -272,7 +273,7 @@ func cmdTrain(args []string) error {
 			return err
 		}
 		x, y, w := ds.XMatrix()
-		tree, err := cart.TrainRegressor(x, y, w, cart.Params{Workers: *workers})
+		tree, err := cart.TrainRegressor(x, y, w, cart.Params{Workers: *workers, MaxBins: *maxBins})
 		if err != nil {
 			return err
 		}

@@ -105,6 +105,26 @@ func TestScanWorkersFlag(t *testing.T) {
 	}
 }
 
+// TestTrainMaxBinsFlag covers the -max-bins flag on the train path: a
+// valid bin budget trains a usable model through the histogram grower,
+// and out-of-range budgets surface cart's validation error.
+func TestTrainMaxBinsFlag(t *testing.T) {
+	data := writeFixture(t)
+	model := filepath.Join(t.TempDir(), "ct.json")
+	if err := run([]string{"train", "-data", data, "-model", "ct", "-o", model, "-max-bins", "64"}); err != nil {
+		t.Fatalf("-max-bins 64: %v", err)
+	}
+	if err := run([]string{"evaluate", "-data", data, "-m", model, "-voters", "5"}); err != nil {
+		t.Fatalf("evaluate binned model: %v", err)
+	}
+	for _, kind := range []string{"ct", "rt"} {
+		err := run([]string{"train", "-data", data, "-model", kind, "-o", model, "-max-bins", "256"})
+		if err == nil || !strings.Contains(err.Error(), "MaxBins") {
+			t.Errorf("%s -max-bins 256: got %v, want MaxBins range error", kind, err)
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		nil,                        // no subcommand

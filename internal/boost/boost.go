@@ -24,6 +24,9 @@ type Config struct {
 	// for 13-feature SMART data, full trees defeat boosting).
 	MaxDepth int
 	// Params are the remaining CART parameters for the weak learners.
+	// Params.MaxBins selects histogram-binned growth for every round's
+	// tree (the bins are recomputed per round because boosting reweights
+	// samples, but quantization depends only on feature values).
 	Params cart.Params
 	// Workers bounds the per-round parallelism: each round's tree grows
 	// on a cart worker pool of this size and the round's training-set

@@ -2,6 +2,7 @@ package boost
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,34 +32,43 @@ func TestParallelDeterminismBoost(t *testing.T) {
 			y[i] = -y[i]
 		}
 	}
-	var refTrees []byte
-	var refAlphas []float64
-	for _, workers := range []int{1, 2, 4, 8} {
-		e, err := Train(x, y, nil, Config{Rounds: 8, MaxDepth: 3, Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		enc, err := json.Marshal(e.Trees)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if workers == 1 {
-			refTrees, refAlphas = enc, e.Alphas
-			if e.Rounds() < 2 {
-				t.Fatalf("reference ensemble trained only %d rounds", e.Rounds())
+	// MaxBins sweeps the weak learners' grower: 0 exact, 32 coarse
+	// histogram bins, 255 the uint8 ceiling. Every fixed value must keep
+	// the worker-count bit-identity guarantee.
+	for _, maxBins := range []int{0, 32, 255} {
+		t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+			var refTrees []byte
+			var refAlphas []float64
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := Config{Rounds: 8, MaxDepth: 3, Workers: workers}
+				cfg.Params.MaxBins = maxBins
+				e, err := Train(x, y, nil, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				enc, err := json.Marshal(e.Trees)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					refTrees, refAlphas = enc, e.Alphas
+					if e.Rounds() < 2 {
+						t.Fatalf("reference ensemble trained only %d rounds", e.Rounds())
+					}
+					continue
+				}
+				if string(enc) != string(refTrees) {
+					t.Errorf("workers=%d learners differ from serial result", workers)
+				}
+				if len(e.Alphas) != len(refAlphas) {
+					t.Fatalf("workers=%d trained %d rounds, serial %d", workers, len(e.Alphas), len(refAlphas))
+				}
+				for i := range e.Alphas {
+					if e.Alphas[i] != refAlphas[i] {
+						t.Errorf("workers=%d alpha[%d] = %v, serial %v", workers, i, e.Alphas[i], refAlphas[i])
+					}
+				}
 			}
-			continue
-		}
-		if string(enc) != string(refTrees) {
-			t.Errorf("workers=%d learners differ from serial result", workers)
-		}
-		if len(e.Alphas) != len(refAlphas) {
-			t.Fatalf("workers=%d trained %d rounds, serial %d", workers, len(e.Alphas), len(refAlphas))
-		}
-		for i := range e.Alphas {
-			if e.Alphas[i] != refAlphas[i] {
-				t.Errorf("workers=%d alpha[%d] = %v, serial %v", workers, i, e.Alphas[i], refAlphas[i])
-			}
-		}
+		})
 	}
 }

@@ -67,6 +67,21 @@ type Params struct {
 	MTry int
 	// Seed drives the MTry feature sampling; unused when MTry is 0.
 	Seed int64
+	// MaxBins, when positive, switches training to the histogram-binned
+	// grower: every feature is quantized once into at most MaxBins
+	// deterministic quantile bins (≤ 255; NaN/missing values get a
+	// reserved bin that always routes right, matching inference), split
+	// search scans bin histograms instead of raw samples, and each
+	// sibling's histogram is derived from its parent's by subtraction so
+	// only the smaller child is re-scanned. 0 (the default) keeps the
+	// exact presorted-column search. The binned grower upholds the same
+	// determinism guarantee as the exact one — at a fixed MaxBins the
+	// grown tree is bit-identical for any Workers count — and whenever a
+	// feature has at most MaxBins distinct finite values its bins are
+	// singletons, so the binned search evaluates exactly the
+	// distinct-value boundaries the exact search evaluates, with
+	// bitwise-identical thresholds.
+	MaxBins int
 	// Workers bounds training parallelism: split searches fan out across
 	// features and independent subtrees grow concurrently on a pool of
 	// this many goroutines. 0 defaults to runtime.NumCPU(); 1 runs the

@@ -101,7 +101,9 @@ type CVResult struct {
 // p.Workers goroutines. Each fold accumulates into its own loss/weight
 // arrays which merge in fold order afterwards, so the returned losses are
 // bit-identical for every worker count (the serial loop visited folds in
-// the same order).
+// the same order). Every fold honours p.MaxBins, so binned training can
+// be cross-validated exactly like the exact path (each fold re-bins its
+// own training split — bins are a function of the split's values).
 func CrossValidateCP(x [][]float64, y, w []float64, p Params, kind Kind,
 	folds int, cps []float64, seed int64) ([]CVResult, float64, error) {
 	if folds < 2 {

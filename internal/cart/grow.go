@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"hddcart/internal/dataset"
 )
 
 // Parallelism thresholds. Fanning work out only when a node is large
@@ -77,6 +79,9 @@ func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
 	if p.Workers < 0 {
 		return nil, fmt.Errorf("cart: negative Workers %d", p.Workers)
 	}
+	if p.MaxBins < 0 || p.MaxBins > dataset.MaxBinsLimit {
+		return nil, fmt.Errorf("cart: MaxBins %d outside [0,%d]", p.MaxBins, dataset.MaxBinsLimit)
+	}
 	g := &grower{x: x, y: y, w: w, p: p, kind: kind, nf: nf}
 	g.mtry = p.MTry > 0 && p.MTry < nf
 	if !g.mtry {
@@ -113,24 +118,51 @@ func train(x [][]float64, y, w []float64, p Params, kind Kind) (*Tree, error) {
 	}
 	g.rootTotal = g.totalImpurity(idx)
 
-	// Presort every feature column once; splits partition the orderings
-	// stably, so no node ever sorts again (the classic CART presort
-	// optimization: O(F·n·log n) total instead of per node). Columns are
-	// independent, so the sorts fan out across the worker pool.
-	cols := make([][]int32, nf)
-	g.parallelFor(nf, len(x) >= parallelSubtreeMin, func(f int) {
-		col := make([]int32, len(x))
-		for i := range col {
-			col[i] = int32(i)
-		}
-		sort.SliceStable(col, func(a, b int) bool { return x[col[a]][f] < x[col[b]][f] })
-		cols[f] = col
-	})
-
-	root := g.grow(cols, 1, 1)
+	var root *Node
+	if p.MaxBins > 0 {
+		// Histogram-binned growth (histgrow.go): quantize each feature
+		// once and split on bin histograms instead of sorted samples.
+		root = g.growBinned()
+	} else {
+		// Presort every feature column once; splits partition the
+		// orderings stably, so no node ever sorts again (the classic CART
+		// presort optimization: O(F·n·log n) total instead of per node).
+		// Columns are independent, so the sorts fan out across the worker
+		// pool.
+		cols := make([][]int32, nf)
+		g.parallelFor(nf, len(x) >= parallelSubtreeMin, func(f int) {
+			col := make([]int32, len(x))
+			keys := make([]float64, len(x))
+			for i := range col {
+				col[i] = int32(i)
+				keys[i] = x[i][f]
+			}
+			sort.Stable(&colSorter{keys: keys, idx: col})
+			cols[f] = col
+		})
+		root = g.grow(cols, 1, 1)
+	}
 	t := &Tree{Root: root, Kind: kind, NumFeatures: nf}
 	Prune(t, p.CP)
 	return t, nil
+}
+
+// colSorter stably sorts one presort column by feature value through a
+// concrete sort.Interface: keys are gathered once, so every comparison is
+// a direct float64 load instead of a closure call chasing two levels of
+// indirection through the feature matrix. The ordering (including the
+// placement of NaNs, for which < is always false) is identical to the
+// sort.SliceStable form it replaced — stability makes the result unique.
+type colSorter struct {
+	keys []float64
+	idx  []int32
+}
+
+func (s *colSorter) Len() int           { return len(s.idx) }
+func (s *colSorter) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *colSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
 }
 
 // grower holds the shared training state. Everything here is read-only

@@ -1,0 +1,62 @@
+package cart
+
+import "testing"
+
+// Kernel benchmarks for the histogram engine. These run with
+// b.ReportAllocs so the recorded allocs/op pins the //hddlint:noalloc
+// contract in BENCH_training.json: the steady-state kernels must report 0.
+
+func BenchmarkHistAccumulate(b *testing.B) {
+	for _, kind := range []Kind{Classification, Regression} {
+		b.Run(kind.String(), func(b *testing.B) {
+			hg, idx := newTestHistGrower(b, kind, 255)
+			g := hg.g
+			seg := make([]float64, hg.featStride)
+			codes := hg.bm.Cols[0].Codes
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if kind == Classification {
+					accumulateHistClass(seg, codes, idx, g.y, g.w, g.eff)
+				} else {
+					accumulateHistReg(seg, codes, idx, g.y, g.w, g.eff)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHistScan(b *testing.B) {
+	for _, kind := range []Kind{Classification, Regression} {
+		b.Run(kind.String(), func(b *testing.B) {
+			hg, idx := newTestHistGrower(b, kind, 255)
+			g := hg.g
+			hist := make([]float64, g.nf*hg.featStride)
+			hg.accumulate(idx, hist)
+			all := g.statsCol(idx)
+			parentMass := all.impurityMass(kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if kind == Classification {
+					hg.scanFeatureClass(0, all, parentMass, hist)
+				} else {
+					hg.scanFeatureReg(0, all, parentMass, hist)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHistSubtract(b *testing.B) {
+	hg, idx := newTestHistGrower(b, Classification, 255)
+	parent := make([]float64, hg.g.nf*hg.featStride)
+	child := make([]float64, len(parent))
+	hg.accumulate(idx, parent)
+	hg.accumulate(idx[:len(idx)/2], child)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subtractHistInto(parent, child)
+	}
+}

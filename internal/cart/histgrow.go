@@ -1,0 +1,356 @@
+package cart
+
+import (
+	"sync"
+
+	"hddcart/internal/dataset"
+)
+
+// Histogram-binned growth (Params.MaxBins > 0), LightGBM-style: features
+// are quantized once into ≤ MaxBins bins (dataset.BinColumn), each node
+// accumulates a per-(feature, bin) statistics histogram, and split search
+// scans ≤ MaxBins bin boundaries instead of n samples. After a split only
+// the smaller child is re-scanned: the larger child's histogram is the
+// parent's minus the smaller's, computed in place, so every sample is
+// accumulated at most O(depth·log) times instead of O(depth) full scans
+// per feature. Histogram buffers are pooled and reused across nodes and
+// across trees.
+//
+// Determinism contract: at a fixed MaxBins the grown tree is bit-identical
+// for any Workers count — bins are a pure function of each column's value
+// multiset, per-feature accumulation always folds samples in stored node
+// order, and the cross-feature reduction breaks ties exactly like the
+// exact path. When every feature has at most MaxBins distinct finite
+// values each distinct value gets a singleton bin, so the binned search
+// considers exactly the distinct-value boundaries (with bitwise-identical
+// midpoint thresholds) the exact search considers.
+
+// histSlots is the per-bin statistics width. Classification uses slots
+// {effGood, effFailed, rawFailed, wRaw, count}; regression uses
+// {sumW, sumWY, sumWY2, wRaw, count}. Counts are stored as float64
+// (exact for any realistic n) so one flat buffer serves both kinds.
+const histSlots = 5
+
+// histPool recycles histogram buffers across nodes, trees and training
+// runs. Buffers are zeroed on checkout, so reuse never leaks state.
+var histPool sync.Pool
+
+// histGrower drives histogram-binned growth for one training run. It
+// shares the grower's worker pool, stats helpers and per-node seeding, so
+// parallel scheduling and MTry sampling behave exactly like the exact
+// path's.
+type histGrower struct {
+	g  *grower
+	bm *dataset.BinnedMatrix
+	// featStride is each feature's histogram extent: (MaxBins+1) bins —
+	// one extra for the reserved NaN/missing bin — of histSlots floats.
+	featStride int
+}
+
+// histSplit is the binned analogue of split: the boundary is identified
+// by the first right-hand bin rather than a position in a sorted column.
+type histSplit struct {
+	feature   int
+	threshold float64
+	gain      float64 // relative to rootTotal
+	cutBin    int     // first bin routed right
+	leftN     int     // finite samples routed left (presizes partition)
+}
+
+// growBinned quantizes the feature matrix and grows the tree from bin
+// histograms. It runs after the grower's shared setup (validation,
+// effective weights, rootTotal), so gains are normalized identically to
+// the exact path.
+func (g *grower) growBinned() *Node {
+	bm := &dataset.BinnedMatrix{
+		NumSamples:  len(g.x),
+		NumFeatures: g.nf,
+		MaxBins:     g.p.MaxBins,
+		Cols:        make([]dataset.BinnedColumn, g.nf),
+	}
+	// Columns quantize independently (BinColumn only reads x), so the
+	// binning pass fans out like the exact path's presort.
+	g.parallelFor(g.nf, len(g.x) >= parallelSubtreeMin, func(f int) {
+		bm.Cols[f] = dataset.BinColumn(g.x, f, g.p.MaxBins)
+	})
+	hg := &histGrower{g: g, bm: bm, featStride: (g.p.MaxBins + 1) * histSlots}
+	idx := make([]int32, len(g.x))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	hist := hg.getHist()
+	hg.accumulate(idx, *hist)
+	return hg.grow(idx, hist, 1, 1)
+}
+
+// getHist checks a zeroed histogram buffer out of the shared pool,
+// growing it when a smaller training run's buffer comes back first.
+func (hg *histGrower) getHist() *[]float64 {
+	need := hg.g.nf * hg.featStride
+	p, _ := histPool.Get().(*[]float64)
+	if p == nil || cap(*p) < need {
+		b := make([]float64, need)
+		p = &b
+	}
+	h := (*p)[:need]
+	for i := range h {
+		h[i] = 0
+	}
+	*p = h
+	return p
+}
+
+func (hg *histGrower) putHist(p *[]float64) { histPool.Put(p) }
+
+// accumulate folds the node's samples into hist, one independent segment
+// per feature. Per-feature folds always walk idx in stored order, so the
+// result is identical for any worker count.
+func (hg *histGrower) accumulate(idx []int32, hist []float64) {
+	g := hg.g
+	par := len(idx)*g.nf >= parallelSplitWork
+	g.parallelFor(g.nf, par, func(f int) {
+		seg := hist[f*hg.featStride : (f+1)*hg.featStride]
+		if g.kind == Classification {
+			accumulateHistClass(seg, hg.bm.Cols[f].Codes, idx, g.y, g.w, g.eff)
+		} else {
+			accumulateHistReg(seg, hg.bm.Cols[f].Codes, idx, g.y, g.w, g.eff)
+		}
+	})
+}
+
+// accumulateHistClass folds classification samples into one feature's
+// histogram segment: per bin {effGood, effFailed, rawFailed, wRaw, count}.
+//
+//hddlint:noalloc
+func accumulateHistClass(seg []float64, codes []uint8, idx []int32, y, w, eff []float64) {
+	for _, i := range idx {
+		o := int(codes[i]) * histSlots
+		if y[i] < 0 {
+			seg[o+1] += eff[i]
+			seg[o+2] += w[i]
+		} else {
+			seg[o] += eff[i]
+		}
+		seg[o+3] += w[i]
+		seg[o+4]++
+	}
+}
+
+// accumulateHistReg folds regression samples into one feature's histogram
+// segment: per bin {sumW, sumWY, sumWY2, wRaw, count}.
+//
+//hddlint:noalloc
+func accumulateHistReg(seg []float64, codes []uint8, idx []int32, y, w, eff []float64) {
+	for _, i := range idx {
+		o := int(codes[i]) * histSlots
+		wy := eff[i] * y[i]
+		seg[o] += eff[i]
+		seg[o+1] += wy
+		seg[o+2] += wy * y[i]
+		seg[o+3] += w[i]
+		seg[o+4]++
+	}
+}
+
+// subtractHistInto turns the parent histogram into the sibling's:
+// parent[i] -= child[i] across every feature segment. This is the
+// subtraction trick — the larger child is never re-scanned.
+//
+//hddlint:noalloc
+func subtractHistInto(parent, child []float64) {
+	for i, v := range child {
+		parent[i] -= v
+	}
+}
+
+// grow is the binned recursive partitioning loop. It owns hist (the
+// node's fully-accumulated histogram over all features) and returns it to
+// the pool on leaf paths; on split paths the buffer is subtracted in
+// place into the larger child's histogram and handed down. Subtree
+// scheduling, per-node ids and MTry seeding mirror grower.grow exactly.
+func (hg *histGrower) grow(idx []int32, hist *[]float64, depth int, id uint64) *Node {
+	g := hg.g
+	s := g.statsCol(idx)
+	node := g.makeNode(s)
+	if s.n < g.p.MinSplit || depth >= g.p.MaxDepth {
+		hg.putHist(hist)
+		return node
+	}
+	parentMass := s.impurityMass(g.kind)
+	if parentMass <= 1e-12 {
+		hg.putHist(hist)
+		return node // pure node
+	}
+	best, ok := hg.bestSplit(idx, s, parentMass, *hist, id)
+	if !ok {
+		hg.putHist(hist)
+		return node
+	}
+	node.Feature = best.feature
+	node.Threshold = best.threshold
+	node.Gain = best.gain
+	left, right := hg.partition(idx, best)
+	// Scan only the smaller child; the larger child's histogram is the
+	// parent's minus the smaller's. Ties go to the left child — a fixed
+	// rule, so the arithmetic is identical for any worker count.
+	leftHist, rightHist := hist, hist
+	if len(left) <= len(right) {
+		leftHist = hg.getHist()
+		hg.accumulate(left, *leftHist)
+		subtractHistInto(*hist, *leftHist)
+	} else {
+		rightHist = hg.getHist()
+		hg.accumulate(right, *rightHist)
+		subtractHistInto(*hist, *rightHist)
+	}
+	if len(left) >= parallelSubtreeMin && len(right) >= parallelSubtreeMin && g.tryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer g.release()
+			node.Left = hg.grow(left, leftHist, depth+1, 2*id)
+		}()
+		node.Right = hg.grow(right, rightHist, depth+1, 2*id+1)
+		wg.Wait()
+	} else {
+		node.Left = hg.grow(left, leftHist, depth+1, 2*id)
+		node.Right = hg.grow(right, rightHist, depth+1, 2*id+1)
+	}
+	return node
+}
+
+// bestSplit scans each (selected) feature's histogram for the best bin
+// boundary. Features scan independently — in parallel when the node is
+// large enough — and the per-feature winners reduce in feature-scan order
+// with a strict greater-than, reproducing the exact path's tie-breaking
+// (lowest feature first, then lowest boundary).
+func (hg *histGrower) bestSplit(idx []int32, all nodeStats, parentMass float64, hist []float64, id uint64) (histSplit, bool) {
+	g := hg.g
+	feats := g.splitFeatures(id)
+	bests := make([]histSplit, len(feats))
+	found := make([]bool, len(feats))
+	parallel := len(idx)*len(feats) >= parallelSplitWork
+	g.parallelFor(len(feats), parallel, func(i int) {
+		if g.kind == Classification {
+			bests[i], found[i] = hg.scanFeatureClass(feats[i], all, parentMass, hist)
+		} else {
+			bests[i], found[i] = hg.scanFeatureReg(feats[i], all, parentMass, hist)
+		}
+	})
+	var best histSplit
+	ok := false
+	for i := range feats {
+		if found[i] && (!ok || bests[i].gain > best.gain) {
+			best = bests[i]
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// scanFeatureClass walks one feature's bins in value order, maintaining
+// running left-side class masses, and evaluates a candidate boundary
+// between each pair of consecutive non-empty bins — exactly the
+// boundaries between consecutive distinct present values when bins are
+// singletons. The reserved NaN bin sits past NumBins and is never added
+// to the left side, so missing values always route right, matching
+// inference (x < t is false for NaN).
+//
+//hddlint:noalloc
+func (hg *histGrower) scanFeatureClass(f int, all nodeStats, parentMass float64, hist []float64) (histSplit, bool) {
+	g := hg.g
+	col := &hg.bm.Cols[f]
+	base := f * hg.featStride
+	var best histSplit
+	ok := false
+	var left nodeStats
+	prev := -1
+	for b := 0; b < col.NumBins; b++ {
+		o := base + b*histSlots
+		cnt := hist[o+4]
+		if exactZero(cnt) {
+			continue
+		}
+		if prev >= 0 && left.n >= g.p.MinBucket && all.n-left.n >= g.p.MinBucket {
+			right := subtractStats(all, left, Classification)
+			gainAbs := parentMass - left.impurityMass(Classification) - right.impurityMass(Classification)
+			rel := gainAbs / g.rootTotal
+			if rel > 1e-12 && (!ok || rel > best.gain) {
+				ok = true
+				best.feature = f
+				best.threshold = col.EdgeBetween(prev, b)
+				best.gain = rel
+				best.cutBin = b
+				best.leftN = left.n
+			}
+		}
+		left.n += int(cnt)
+		left.effGood += hist[o]
+		left.effFailed += hist[o+1]
+		left.rawFailed += hist[o+2]
+		left.wRaw += hist[o+3]
+		prev = b
+	}
+	return best, ok
+}
+
+// scanFeatureReg is scanFeatureClass for regression: running left-side
+// {sumW, sumWY, sumWY2} instead of class masses.
+//
+//hddlint:noalloc
+func (hg *histGrower) scanFeatureReg(f int, all nodeStats, parentMass float64, hist []float64) (histSplit, bool) {
+	g := hg.g
+	col := &hg.bm.Cols[f]
+	base := f * hg.featStride
+	var best histSplit
+	ok := false
+	var left nodeStats
+	prev := -1
+	for b := 0; b < col.NumBins; b++ {
+		o := base + b*histSlots
+		cnt := hist[o+4]
+		if exactZero(cnt) {
+			continue
+		}
+		if prev >= 0 && left.n >= g.p.MinBucket && all.n-left.n >= g.p.MinBucket {
+			right := subtractStats(all, left, Regression)
+			gainAbs := parentMass - left.impurityMass(Regression) - right.impurityMass(Regression)
+			rel := gainAbs / g.rootTotal
+			if rel > 1e-12 && (!ok || rel > best.gain) {
+				ok = true
+				best.feature = f
+				best.threshold = col.EdgeBetween(prev, b)
+				best.gain = rel
+				best.cutBin = b
+				best.leftN = left.n
+			}
+		}
+		left.n += int(cnt)
+		left.sumW += hist[o]
+		left.sumWY += hist[o+1]
+		left.sumWY2 += hist[o+2]
+		left.wRaw += hist[o+3]
+		prev = b
+	}
+	return best, ok
+}
+
+// partition routes the node's samples by bin code in one pass, preserving
+// stored order so every descendant's accumulation folds samples in the
+// same deterministic order. Finite codes below the cut bin go left;
+// everything else — including the reserved NaN bin — goes right.
+func (hg *histGrower) partition(idx []int32, best histSplit) (left, right []int32) {
+	codes := hg.bm.Cols[best.feature].Codes
+	left = make([]int32, 0, best.leftN)
+	right = make([]int32, 0, len(idx)-best.leftN)
+	cut := uint8(best.cutBin)
+	for _, i := range idx {
+		if codes[i] < cut {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}

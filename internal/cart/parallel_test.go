@@ -2,6 +2,7 @@ package cart
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,6 +15,11 @@ import (
 // workerCounts are the pool sizes every determinism test sweeps. 1 is the
 // serial reference; the rest must reproduce it byte for byte.
 var workerCounts = []int{1, 2, 4, 8}
+
+// maxBinsCases sweeps the grower selection: 0 is the exact presorted
+// path, 32 forces coarse multi-value bins, 255 is the uint8 ceiling.
+// The bit-identity guarantee must hold at every fixed MaxBins.
+var maxBinsCases = []int{0, 32, 255}
 
 // synthClassification builds an n-sample nf-feature ±1 dataset with a few
 // informative features, label noise, and duplicated feature values (to
@@ -143,25 +149,30 @@ func TestParallelDeterminismClassifier(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			x, y, w := tc.data(t)
-			var ref []byte
-			for _, workers := range workerCounts {
-				p := tc.params
-				p.Workers = workers
-				tree, err := TrainClassifier(x, y, w, p)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				enc := marshalTree(t, tree)
-				if workers == 1 {
-					ref = enc
-					if tree.NumNodes() < 3 {
-						t.Fatalf("degenerate reference tree (%d nodes) proves nothing", tree.NumNodes())
+			for _, maxBins := range maxBinsCases {
+				t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+					var ref []byte
+					for _, workers := range workerCounts {
+						p := tc.params
+						p.Workers = workers
+						p.MaxBins = maxBins
+						tree, err := TrainClassifier(x, y, w, p)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						enc := marshalTree(t, tree)
+						if workers == 1 {
+							ref = enc
+							if tree.NumNodes() < 3 {
+								t.Fatalf("degenerate reference tree (%d nodes) proves nothing", tree.NumNodes())
+							}
+							continue
+						}
+						if string(enc) != string(ref) {
+							t.Errorf("workers=%d tree differs from serial result", workers)
+						}
 					}
-					continue
-				}
-				if string(enc) != string(ref) {
-					t.Errorf("workers=%d tree differs from serial result", workers)
-				}
+				})
 			}
 		})
 	}
@@ -170,23 +181,29 @@ func TestParallelDeterminismClassifier(t *testing.T) {
 // TestParallelDeterminismRegressor is the regression-tree counterpart.
 func TestParallelDeterminismRegressor(t *testing.T) {
 	x, y, w := synthRegression(21, 4000, 7)
-	var ref []byte
-	for _, workers := range workerCounts {
-		tree, err := TrainRegressor(x, y, w, Params{MinSplit: 6, MinBucket: 3, CP: 1e-6, Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		enc := marshalTree(t, tree)
-		if workers == 1 {
-			ref = enc
-			if tree.NumNodes() < 7 {
-				t.Fatalf("reference tree too small: %d nodes", tree.NumNodes())
+	for _, maxBins := range maxBinsCases {
+		t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+			var ref []byte
+			for _, workers := range workerCounts {
+				tree, err := TrainRegressor(x, y, w, Params{
+					MinSplit: 6, MinBucket: 3, CP: 1e-6, Workers: workers, MaxBins: maxBins,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				enc := marshalTree(t, tree)
+				if workers == 1 {
+					ref = enc
+					if tree.NumNodes() < 7 {
+						t.Fatalf("reference tree too small: %d nodes", tree.NumNodes())
+					}
+					continue
+				}
+				if string(enc) != string(ref) {
+					t.Errorf("workers=%d regression tree differs from serial result", workers)
+				}
 			}
-			continue
-		}
-		if string(enc) != string(ref) {
-			t.Errorf("workers=%d regression tree differs from serial result", workers)
-		}
+		})
 	}
 }
 
@@ -195,23 +212,27 @@ func TestParallelDeterminismRegressor(t *testing.T) {
 // lands in the tree, regardless of which goroutine grows it.
 func TestParallelDeterminismMTry(t *testing.T) {
 	x, y, w := synthClassification(31, 3000, 10)
-	var ref []byte
-	for _, workers := range workerCounts {
-		tree, err := TrainClassifier(x, y, w, Params{
-			MinSplit: 4, MinBucket: 2, CP: 1e-9,
-			MTry: 3, Seed: 99, Workers: workers,
+	for _, maxBins := range maxBinsCases {
+		t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+			var ref []byte
+			for _, workers := range workerCounts {
+				tree, err := TrainClassifier(x, y, w, Params{
+					MinSplit: 4, MinBucket: 2, CP: 1e-9,
+					MTry: 3, Seed: 99, Workers: workers, MaxBins: maxBins,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				enc := marshalTree(t, tree)
+				if workers == 1 {
+					ref = enc
+					continue
+				}
+				if string(enc) != string(ref) {
+					t.Errorf("workers=%d MTry tree differs from serial result", workers)
+				}
+			}
 		})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		enc := marshalTree(t, tree)
-		if workers == 1 {
-			ref = enc
-			continue
-		}
-		if string(enc) != string(ref) {
-			t.Errorf("workers=%d MTry tree differs from serial result", workers)
-		}
 	}
 }
 
@@ -220,27 +241,31 @@ func TestParallelDeterminismMTry(t *testing.T) {
 func TestParallelDeterminismCV(t *testing.T) {
 	x, y, w := synthClassification(41, 1500, 6)
 	cps := []float64{1e-6, 1e-4, 1e-3, 1e-2, 0.1}
-	var refResults []CVResult
-	var refBest float64
-	for _, workers := range workerCounts {
-		p := Params{MinSplit: 4, MinBucket: 2, LossFA: 10, Workers: workers}
-		results, best, err := CrossValidateCP(x, y, w, p, Classification, 5, cps, 7)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if workers == 1 {
-			refResults, refBest = results, best
-			continue
-		}
-		if best != refBest {
-			t.Errorf("workers=%d best CP %v, serial %v", workers, best, refBest)
-		}
-		for i := range results {
-			if results[i] != refResults[i] {
-				t.Errorf("workers=%d CV result %d = %+v, serial %+v",
-					workers, i, results[i], refResults[i])
+	for _, maxBins := range maxBinsCases {
+		t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+			var refResults []CVResult
+			var refBest float64
+			for _, workers := range workerCounts {
+				p := Params{MinSplit: 4, MinBucket: 2, LossFA: 10, Workers: workers, MaxBins: maxBins}
+				results, best, err := CrossValidateCP(x, y, w, p, Classification, 5, cps, 7)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if workers == 1 {
+					refResults, refBest = results, best
+					continue
+				}
+				if best != refBest {
+					t.Errorf("workers=%d best CP %v, serial %v", workers, best, refBest)
+				}
+				for i := range results {
+					if results[i] != refResults[i] {
+						t.Errorf("workers=%d CV result %d = %+v, serial %+v",
+							workers, i, results[i], refResults[i])
+					}
+				}
 			}
-		}
+		})
 	}
 }
 

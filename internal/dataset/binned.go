@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxBinsLimit is the largest usable finite-bin count per feature: bin
+// codes are uint8 and one code above the finite bins is reserved for
+// NaN/missing values, so at most 255 finite bins plus the reserved bin
+// fit the code space.
+const MaxBinsLimit = 255
+
+// BinnedColumn is one feature's quantized view: every sample's raw value
+// replaced by a small bin code, plus the per-bin value bounds the
+// histogram trainer needs to turn a bin boundary back into a split
+// threshold.
+//
+// Finite values (including ±Inf, which order normally) occupy bins
+// 0..NumBins-1 in increasing value order; NaN/missing values all carry
+// the reserved code NumBins. Bin b covers the closed raw-value interval
+// [Lower[b], Upper[b]], intervals are disjoint and increasing, and equal
+// raw values always share a bin — a tie can never straddle a boundary.
+type BinnedColumn struct {
+	// Codes holds one bin code per sample, in sample order. Codes[i] is
+	// in [0, NumBins], where NumBins is the reserved missing code.
+	Codes []uint8
+	// Lower and Upper bound the raw values mapped into each finite bin
+	// (Lower[b] = Upper[b] for singleton bins).
+	Lower, Upper []float64
+	// NumBins is the finite-bin count (≤ the maxBins the column was
+	// built with); it doubles as the reserved missing code.
+	NumBins int
+	// Missing reports whether any sample carried the reserved code.
+	Missing bool
+}
+
+// MissingCode returns the reserved bin code for NaN/missing values.
+func (c *BinnedColumn) MissingCode() uint8 { return uint8(c.NumBins) }
+
+// EdgeBetween returns the split threshold separating finite bins a < b:
+// the midpoint of the gap between a's largest and b's smallest raw value,
+// computed exactly as the presorted exact path computes the midpoint
+// between two consecutive distinct values. Samples with values ≤ Upper[a]
+// compare < threshold (they go left); samples ≥ Lower[b] do not.
+func (c *BinnedColumn) EdgeBetween(a, b int) float64 {
+	u := c.Upper[a]
+	return u + (c.Lower[b]-u)/2
+}
+
+// BinnedMatrix is the columnar quantized view of a feature matrix:
+// one BinnedColumn per feature, all built over the same sample order.
+// It is immutable after construction and safe for concurrent readers,
+// which is what lets histogram training share one matrix across worker
+// goroutines and across every node of a tree.
+type BinnedMatrix struct {
+	// NumSamples and NumFeatures record the source matrix shape.
+	NumSamples, NumFeatures int
+	// MaxBins is the finite-bin budget every column was built with.
+	MaxBins int
+	// Cols holds one quantized column per feature.
+	Cols []BinnedColumn
+}
+
+// BinMatrix quantizes every column of x to at most maxBins finite bins
+// (see BinColumn for the rule). The matrix must be non-empty and
+// rectangular; maxBins must lie in [1, MaxBinsLimit].
+func BinMatrix(x [][]float64, maxBins int) (*BinnedMatrix, error) {
+	if maxBins < 1 || maxBins > MaxBinsLimit {
+		return nil, fmt.Errorf("dataset: maxBins %d outside [1,%d]", maxBins, MaxBinsLimit)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dataset: empty matrix")
+	}
+	nf := len(x[0])
+	for i := range x {
+		if len(x[i]) != nf {
+			return nil, fmt.Errorf("dataset: ragged matrix at row %d", i)
+		}
+	}
+	bm := &BinnedMatrix{NumSamples: len(x), NumFeatures: nf, MaxBins: maxBins, Cols: make([]BinnedColumn, nf)}
+	for f := 0; f < nf; f++ {
+		bm.Cols[f] = BinColumn(x, f, maxBins)
+	}
+	return bm, nil
+}
+
+// BinColumn quantizes feature f of x into at most maxBins finite bins
+// plus the reserved missing bin. The rule is deterministic quantile
+// binning: when the column has at most maxBins distinct finite values,
+// every distinct value becomes its own singleton bin (so binned split
+// search sees exactly the boundaries the exact path sees); otherwise bins
+// absorb runs of equal values greedily until each holds roughly an equal
+// share of the remaining samples, never splitting a run of ties across
+// two bins. The result depends only on the column's multiset of values —
+// never on sample order, worker count, or map iteration.
+//
+// Callers that parallelize across features may invoke BinColumn
+// concurrently for different f; it only reads x.
+func BinColumn(x [][]float64, f, maxBins int) BinnedColumn {
+	n := len(x)
+	col := BinnedColumn{Codes: make([]uint8, n)}
+	// Sort the finite values (±Inf included: they order normally; only
+	// NaN is unordered and goes to the reserved bin).
+	vals := make([]float64, 0, n)
+	for i := range x {
+		if v := x[i][f]; !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+
+	if len(vals) > 0 {
+		col.Lower, col.Upper = binBounds(vals, maxBins)
+		col.NumBins = len(col.Upper)
+	}
+	missing := uint8(col.NumBins)
+	for i := range x {
+		v := x[i][f]
+		if math.IsNaN(v) {
+			col.Codes[i] = missing
+			col.Missing = true
+			continue
+		}
+		// The smallest bin whose upper bound covers v.
+		col.Codes[i] = uint8(sort.SearchFloat64s(col.Upper, v))
+	}
+	return col
+}
+
+// binBounds derives the per-bin [lower, upper] value bounds from a sorted
+// finite-value slice. When the slice holds at most maxBins distinct
+// values every distinct value gets a singleton bin — the exactness fast
+// path. Otherwise each bin's target share is recomputed as the ceiling of
+// remaining-samples over remaining-bins, so early wide runs of ties
+// cannot starve the later bins.
+func binBounds(vals []float64, maxBins int) (lower, upper []float64) {
+	n := len(vals)
+	runs := 1
+	for i := 1; i < n && runs <= maxBins; i++ {
+		if distinct(vals[i-1], vals[i]) {
+			runs++
+		}
+	}
+	if runs <= maxBins {
+		// Singleton bins: the binned split search sees exactly the
+		// distinct-value boundaries the exact path sees.
+		for i := 0; i < n; i++ {
+			if i == 0 || distinct(vals[i-1], vals[i]) {
+				lower = append(lower, vals[i])
+				upper = append(upper, vals[i])
+			}
+		}
+		return lower, upper
+	}
+	i := 0
+	for b := 0; i < n && b < maxBins; b++ {
+		binsLeft := maxBins - b
+		target := ((n - i) + binsLeft - 1) / binsLeft
+		lo := vals[i]
+		end := i + target
+		if binsLeft == 1 || end > n {
+			end = n
+		}
+		// Never split a run of equal values: extend to the end of the
+		// run the target landed in.
+		for end < n && !distinct(vals[end-1], vals[end]) {
+			end++
+		}
+		lower = append(lower, lo)
+		upper = append(upper, vals[end-1])
+		i = end
+	}
+	return lower, upper
+}
+
+// distinct reports whether two sorted neighbours are different values —
+// the same boundary test the exact split search applies between
+// consecutive sorted samples.
+//
+//hddlint:floatcmp operands are copies of stored feature values from a sorted column, so this tests value identity, not the result of arithmetic
+func distinct(a, b float64) bool { return a != b }

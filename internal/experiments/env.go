@@ -37,6 +37,10 @@ type Config struct {
 	// default experiment configs pass a smaller budget with early
 	// stopping to keep run times reasonable).
 	ANNEpochs int
+	// MaxBins, when positive, trains every tree model (CT, RT, forest,
+	// AdaBoost) with the histogram-binned grower at this bin budget
+	// (≤ 255); 0 keeps the exact split search. See cart.Params.MaxBins.
+	MaxBins int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +104,9 @@ func (e *Env) memoize(key string, fn func() (any, error)) (any, error) {
 func NewEnv(cfg Config) (*Env, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("experiments: negative Workers %d", cfg.Workers)
+	}
+	if cfg.MaxBins < 0 || cfg.MaxBins > dataset.MaxBinsLimit {
+		return nil, fmt.Errorf("experiments: MaxBins %d outside [0,%d]", cfg.MaxBins, dataset.MaxBinsLimit)
 	}
 	cfg = cfg.withDefaults()
 	fleet, err := simulate.New(simulate.Config{
@@ -339,9 +346,12 @@ func (e *Env) goodSamplesPerDrive() int {
 // ctParams are the paper's CT hyper-parameters (§V-A2): Minsplit 20,
 // Minbucket 7, CP 0.001, false-alarm loss 10× — plus the environment's
 // worker budget for the parallel training engine (which provably does not
-// alter the grown tree).
+// alter the grown tree) and its histogram-bin budget.
 func (e *Env) ctParams() cart.Params {
-	return cart.Params{MinSplit: 20, MinBucket: 7, CP: 0.001, LossFA: 10, Workers: e.cfg.Workers}
+	return cart.Params{
+		MinSplit: 20, MinBucket: 7, CP: 0.001, LossFA: 10,
+		Workers: e.cfg.Workers, MaxBins: e.cfg.MaxBins,
+	}
 }
 
 // trainCT trains the paper's CT model on a finalized dataset.

@@ -31,7 +31,7 @@ func (e *Env) Forest() (*Report, error) {
 	start := time.Now()
 	rf, err := forest.TrainClassifier(x, y, w, forest.Config{
 		Trees:   50,
-		Params:  cart.Params{MinSplit: 20, MinBucket: 7, LossFA: 10},
+		Params:  cart.Params{MinSplit: 20, MinBucket: 7, LossFA: 10, MaxBins: e.cfg.MaxBins},
 		Seed:    e.cfg.Seed,
 		Workers: e.cfg.Workers,
 	})
@@ -76,7 +76,7 @@ func (e *Env) Boost() (*Report, error) {
 	ens, err := boost.Train(x, y, w, boost.Config{
 		Rounds:   20,
 		MaxDepth: 5,
-		Params:   cart.Params{MinSplit: 20, MinBucket: 7, CP: 1e-6, LossFA: 10},
+		Params:   cart.Params{MinSplit: 20, MinBucket: 7, CP: 1e-6, LossFA: 10, MaxBins: e.cfg.MaxBins},
 		Workers:  e.cfg.Workers,
 	})
 	if err != nil {

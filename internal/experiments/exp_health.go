@@ -86,7 +86,7 @@ func (e *Env) rtModels() (rtPair, error) {
 			return nil, err
 		}
 
-		params := cart.Params{MinSplit: 20, MinBucket: 7, CP: 0.001, Workers: e.cfg.Workers}
+		params := cart.Params{MinSplit: 20, MinBucket: 7, CP: 0.001, Workers: e.cfg.Workers, MaxBins: e.cfg.MaxBins}
 		trainRT := func() (*cart.Tree, error) {
 			x, y, wts := ds.XMatrix()
 			tree, err := cart.TrainRegressor(x, y, wts, params)

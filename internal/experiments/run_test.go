@@ -58,6 +58,14 @@ func TestNegativeWorkersRejected(t *testing.T) {
 	}
 }
 
+func TestMaxBinsRejected(t *testing.T) {
+	for _, mb := range []int{-1, 256} {
+		if _, err := NewEnv(Config{MaxBins: mb}); err == nil || !strings.Contains(err.Error(), "MaxBins") {
+			t.Errorf("MaxBins %d: err = %v, want range error", mb, err)
+		}
+	}
+}
+
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Run(Config{Seed: 1}, []string{"table2"}, &buf); err != nil {

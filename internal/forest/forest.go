@@ -30,7 +30,10 @@ type Config struct {
 	SampleFrac float64
 	// Params are the per-tree CART parameters; MTry/Seed within are
 	// overridden per tree. Forests usually grow deep trees, so the
-	// default CP is lowered to 1e-6 unless set explicitly.
+	// default CP is lowered to 1e-6 unless set explicitly. Set
+	// Params.MaxBins to grow every member tree with the histogram-binned
+	// engine — with many deep trees over the same matrix, binning pays
+	// off even more than for a single tree.
 	Params cart.Params
 	// Seed drives all resampling.
 	Seed int64

@@ -2,6 +2,7 @@ package forest
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,34 +48,42 @@ func TestParallelDeterminismForest(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var refTrees []byte
-			var refOOB float64
-			for _, workers := range []int{1, 2, 4, 8} {
-				cfg := tc.cfg
-				cfg.Workers = workers
-				if tc.name == "nested-tree-workers" {
-					// Opt into per-tree parallelism too: the result
-					// must still match the all-serial reference.
-					cfg.Params.Workers = workers
-				}
-				f, err := TrainClassifier(x, y, nil, cfg)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				enc, err := json.Marshal(f.Trees)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if workers == 1 {
-					refTrees, refOOB = enc, f.OOBError
-					continue
-				}
-				if string(enc) != string(refTrees) {
-					t.Errorf("workers=%d forest trees differ from serial result", workers)
-				}
-				if f.OOBError != refOOB {
-					t.Errorf("workers=%d OOB error %v, serial %v", workers, f.OOBError, refOOB)
-				}
+			// MaxBins sweeps the per-tree grower: 0 exact, 32 coarse
+			// histogram bins, 255 the uint8 ceiling. The whole-forest
+			// bit-identity guarantee must hold at every fixed value.
+			for _, maxBins := range []int{0, 32, 255} {
+				t.Run(fmt.Sprintf("maxbins=%d", maxBins), func(t *testing.T) {
+					var refTrees []byte
+					var refOOB float64
+					for _, workers := range []int{1, 2, 4, 8} {
+						cfg := tc.cfg
+						cfg.Workers = workers
+						cfg.Params.MaxBins = maxBins
+						if tc.name == "nested-tree-workers" {
+							// Opt into per-tree parallelism too: the result
+							// must still match the all-serial reference.
+							cfg.Params.Workers = workers
+						}
+						f, err := TrainClassifier(x, y, nil, cfg)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						enc, err := json.Marshal(f.Trees)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if workers == 1 {
+							refTrees, refOOB = enc, f.OOBError
+							continue
+						}
+						if string(enc) != string(refTrees) {
+							t.Errorf("workers=%d forest trees differ from serial result", workers)
+						}
+						if f.OOBError != refOOB {
+							t.Errorf("workers=%d OOB error %v, serial %v", workers, f.OOBError, refOOB)
+						}
+					}
+				})
 			}
 		})
 	}
