@@ -51,6 +51,19 @@ type (
 	// NetworkConfig are the BP ANN hyper-parameters.
 	NetworkConfig = ann.Config
 
+	// BinnedMatrix is the columnar quantized view of a feature matrix
+	// (≤ 255 uint8 bins per feature plus a reserved missing bin); it
+	// drives both histogram-binned training and binned-code inference.
+	BinnedMatrix = dataset.BinnedMatrix
+	// BinnedTree is a compiled tree remapped onto a BinnedMatrix's code
+	// space (CompiledTree.CompileBinned): it scores quantized uint8 rows
+	// with byte compares, one byte per feature.
+	BinnedTree = cart.BinnedTree
+	// BinnedForest is a compiled forest with every member binned.
+	BinnedForest = forest.Binned
+	// BinnedBoost is a compiled committee with every learner binned.
+	BinnedBoost = boost.Binned
+
 	// Detector scans a drive's chronological samples for an alarm.
 	Detector = detect.Detector
 	// Predictor scores one feature vector (trees and networks qualify).
@@ -67,6 +80,20 @@ type (
 	Series = detect.Series
 	// Outcome is a drive-level detection result.
 	Outcome = detect.Outcome
+	// BinnedPredictor scores one quantized code row (binned trees,
+	// forests and committees qualify).
+	BinnedPredictor = detect.BinnedPredictor
+	// BinnedBatchPredictor additionally scores whole blocks of code rows.
+	BinnedBatchPredictor = detect.BinnedBatchPredictor
+	// BinnedDetector scans a drive's quantized samples for an alarm.
+	BinnedDetector = detect.BinnedDetector
+	// BinnedSeries is a drive's quantized sample sequence.
+	BinnedSeries = detect.BinnedSeries
+	// BinnedVotingDetector is the voting detector over quantized rows.
+	BinnedVotingDetector = detect.VotingBinned
+	// BinnedMeanThresholdDetector is the health-degree detector over
+	// quantized rows.
+	BinnedMeanThresholdDetector = detect.MeanThresholdBinned
 
 	// Result aggregates FDR/FAR/TIA over an evaluation.
 	Result = eval.Result
@@ -260,6 +287,72 @@ func CompileModel(p Predictor) Predictor {
 	default:
 		return p
 	}
+}
+
+// CompileModelBinned remaps a tree, forest or boosting model onto a
+// binned matrix's uint8 code space for binned-code inference
+// (one byte per feature, byte-compare kernels): the fleet-scan fast
+// path. Both pointer and compiled forms are accepted; any other
+// predictor — including the BP ANN, whose dense layers have no binned
+// form — is rejected. Scores are bit-identical to the float compiled
+// path for inputs whose values the bins represent (see BinnedTree's
+// equivalence contract).
+func CompileModelBinned(p Predictor, bm *BinnedMatrix) (BinnedBatchPredictor, error) {
+	switch m := p.(type) {
+	case *cart.Tree:
+		return m.Compile().CompileBinned(bm)
+	case *cart.CompiledTree:
+		return m.CompileBinned(bm)
+	case *forest.Forest:
+		return m.Compile().CompileBinned(bm)
+	case *forest.Compiled:
+		return m.CompileBinned(bm)
+	case *boost.Ensemble:
+		return m.Compile().CompileBinned(bm)
+	case *boost.Compiled:
+		return m.CompileBinned(bm)
+	default:
+		return nil, fmt.Errorf("hddcart: %T has no binned-code form", p)
+	}
+}
+
+// BinFeatureMatrix quantizes a feature matrix into at most maxBins uint8
+// bins per feature (1 ≤ maxBins ≤ 255): the binning behind both
+// histogram-binned training and binned-code inference.
+func BinFeatureMatrix(x [][]float64, maxBins int) (*BinnedMatrix, error) {
+	return dataset.BinMatrix(x, maxBins)
+}
+
+// QuantizeSeries maps a drive's series onto a binned matrix's code space
+// for binned-code scanning.
+func QuantizeSeries(bm *BinnedMatrix, s Series) (BinnedSeries, error) {
+	return detect.QuantizeSeries(bm, s)
+}
+
+// NewBinnedVotingDetector returns a validated voting detector over
+// quantized rows; it alarms at exactly the float detector's index
+// wherever the binned model scores match the float model's.
+func NewBinnedVotingDetector(model BinnedBatchPredictor, voters int, threshold float64) (*BinnedVotingDetector, error) {
+	return detect.NewVotingBinned(model, voters, threshold)
+}
+
+// NewBinnedMeanThresholdDetector returns a validated health-degree
+// detector over quantized rows.
+func NewBinnedMeanThresholdDetector(model BinnedBatchPredictor, voters int, threshold float64) (*BinnedMeanThresholdDetector, error) {
+	return detect.NewMeanThresholdBinned(model, voters, threshold)
+}
+
+// ScanBinned runs a binned detector over a drive's quantized series;
+// failHour is -1 for good drives.
+func ScanBinned(d BinnedDetector, s BinnedSeries, failHour int) Outcome {
+	return detect.ScanBinned(d, s, failHour)
+}
+
+// ScanBatchBinned runs a binned detector over many drives' quantized
+// series on up to workers goroutines, with outcomes identical for every
+// worker count (as ScanBatch).
+func ScanBatchBinned(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) []Outcome {
+	return detect.ScanBatchBinned(d, series, failHours, workers)
 }
 
 // PersonalizedWindows derives per-drive deterioration windows from a

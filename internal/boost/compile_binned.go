@@ -1,0 +1,81 @@
+package boost
+
+import (
+	"fmt"
+
+	"hddcart/internal/cart"
+	"hddcart/internal/dataset"
+)
+
+// Binned is the binned-code inference form of a Compiled ensemble: every
+// weak learner remapped onto one dataset.BinnedMatrix's code space
+// (cart.CompiledTree.CompileBinned), scoring quantized uint8 rows. Per
+// sample the alpha-weighted scores and the alpha total accumulate in
+// learner order exactly as the float paths do, so wherever the learners'
+// binned scores match their float scores (see the BinnedTree equivalence
+// contract) the ensemble outputs are bit-identical too. Binned is
+// immutable and safe for concurrent use.
+type Binned struct {
+	// Trees are the binned weak learners, in training order.
+	Trees []*cart.BinnedTree
+	// Alphas are the learner weights.
+	Alphas []float64
+	// Exact reports whether every learner compiled exactly (no split
+	// threshold straddles a bin's value range).
+	Exact bool
+}
+
+// CompileBinned remaps every weak learner onto bm's code space.
+func (c *Compiled) CompileBinned(bm *dataset.BinnedMatrix) (*Binned, error) {
+	b := &Binned{
+		Trees:  make([]*cart.BinnedTree, len(c.Trees)),
+		Alphas: append([]float64(nil), c.Alphas...),
+		Exact:  true,
+	}
+	for i, t := range c.Trees {
+		bt, err := t.CompileBinned(bm)
+		if err != nil {
+			return nil, fmt.Errorf("boost: learner %d: %w", i, err)
+		}
+		if !bt.Exact {
+			b.Exact = false
+		}
+		b.Trees[i] = bt
+	}
+	return b, nil
+}
+
+// Predict returns the weighted vote balance in [−1, +1] (negative =
+// failed) for one quantized row, folding in learner order like
+// Compiled.Predict.
+func (b *Binned) Predict(codes []uint8) float64 {
+	var score, total float64
+	for i, t := range b.Trees {
+		score += b.Alphas[i] * t.Predict(codes)
+		total += b.Alphas[i]
+	}
+	if exactZero(total) {
+		return 0
+	}
+	return score / total
+}
+
+// PredictFailed reports whether the ensemble classifies the row as failed.
+func (b *Binned) PredictFailed(codes []uint8) bool { return b.Predict(codes) < 0 }
+
+// PredictBatch scores a block of quantized rows into dst and returns it
+// (nil or short dst allocates; a caller-provided len(xs) buffer keeps the
+// path allocation-free). dst[i] equals Predict(xs[i]) exactly.
+//
+//hddlint:noalloc
+func (b *Binned) PredictBatch(xs [][]uint8, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	for i, codes := range xs {
+		dst[i] = b.Predict(codes)
+	}
+	return dst
+}

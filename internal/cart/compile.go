@@ -154,9 +154,13 @@ func (c *CompiledTree) NumNodes() int { return len(c.Feature) }
 // leaf returns the index of the leaf x falls into.
 func (c *CompiledTree) leaf(x []float64) int {
 	if nodes := c.nodes; nodes != nil {
+		base := unsafe.Pointer(&nodes[0])
 		i := 0
 		for {
-			nd := &nodes[i]
+			// The walk is the scalar hot path; indexes come from the sealed
+			// layout (seal verified every left/right child is in range), so
+			// the bounds check is provably dead and elided by hand.
+			nd := (*packedNode)(unsafe.Add(base, uintptr(i)*unsafe.Sizeof(packedNode{})))
 			thr := nd.threshold
 			if thr != thr { // NaN: the leaf self-loop encoding
 				return i

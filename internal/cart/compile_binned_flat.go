@@ -1,0 +1,210 @@
+package cart
+
+import "unsafe"
+
+// Flat-matrix fast path for the binned batch engine. Code rows produced
+// by dataset.BinnedMatrix.Quantize (and therefore detect.QuantizeSeries)
+// are slices of one contiguous backing array with a fixed stride, so a
+// row's data pointer is base + idx·stride — no gathered pointer table
+// needed. scorePartitioned detects that layout once per block (one
+// pointer compare per row, cheaper than the gather it replaces) and
+// switches to these kernels, which drop one dependent load per sample
+// per tree level. Verdicts are bit-identical to the gathered path; the
+// internal/equiv matrices pit both layouts against each other.
+
+// flatRows reports whether every row of the block is a slice of one
+// backing array at a fixed stride of at least need bytes, returning the
+// base pointer and stride when so. The base stays reachable through xs
+// for the duration of the caller, so holding it as an unsafe.Pointer is
+// safe.
+//
+//hddlint:noalloc
+func flatRows(xs [][]uint8, need int) (unsafe.Pointer, uintptr, bool) {
+	stride := len(xs[0])
+	if stride < need {
+		return nil, 0, false
+	}
+	base := unsafe.Pointer(&xs[0][0])
+	p := base
+	for _, row := range xs {
+		if len(row) != stride || unsafe.Pointer(&row[0]) != p {
+			return nil, 0, false
+		}
+		p = unsafe.Add(p, uintptr(stride))
+	}
+	return base, uintptr(stride), true
+}
+
+// runSegmentsFlat is runSegments over a contiguous code matrix: same
+// segment stack, same ping-pong index buffers, flat kernels.
+//
+//hddlint:noalloc
+//hddlint:binned
+func (bt *BinnedTree) runSegmentsFlat(sc *batchScratch, base unsafe.Pointer, stride uintptr,
+	dst, payload []float64, rootLeft, n int, add bool) {
+	feat := bt.Feature
+	cut := bt.Cut
+	left, right := bt.Left, bt.Right
+	cur, next := sc.cur[:n], sc.next[:n]
+	stack := sc.stack[:0]
+	//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
+	stack = append(stack,
+		segment{node: right[0], lo: int32(rootLeft), hi: int32(n)},
+		segment{node: left[0], lo: 0, hi: int32(rootLeft)})
+	for len(stack) > 0 {
+		sg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if sg.lo == sg.hi {
+			continue
+		}
+		src, out := cur, next
+		if sg.flipped {
+			src, out = next, cur
+		}
+		node := sg.node
+		seg := src[sg.lo:sg.hi]
+		if feat[node] < 0 { // leaf: deliver the payload to every sample here
+			p := payload[node]
+			if add {
+				for _, idx := range seg {
+					dst[idx] += p
+				}
+			} else {
+				for _, idx := range seg {
+					dst[idx] = p
+				}
+			}
+			continue
+		}
+		if ln := left[node]; feat[ln] < 0 && feat[ln+1] < 0 {
+			leafPairSegBinnedFlat(unsafe.Pointer(&src[sg.lo]), len(seg), base, stride,
+				uintptr(feat[node]), cut[node],
+				unsafe.Pointer(&dst[0]), unsafe.Pointer(&payload[ln]), add)
+			continue
+		}
+		if len(seg) < minSegPartition {
+			walkSegBinnedFlat(bt.nodes, seg, base, stride, dst, payload, node, add)
+			continue
+		}
+		nl := partitionSegBinnedFlat(unsafe.Pointer(&src[sg.lo]), unsafe.Pointer(&out[sg.lo]),
+			len(seg), base, stride, uintptr(feat[node]), cut[node])
+		mid := sg.lo + int32(nl)
+		//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
+		stack = append(stack,
+			segment{node: right[node], lo: mid, hi: sg.hi, flipped: !sg.flipped},
+			segment{node: left[node], lo: sg.lo, hi: mid, flipped: !sg.flipped})
+	}
+	sc.stack = stack[:0]
+}
+
+// partitionRootBinnedFlat splits the implicit sample order 0..n-1 on
+// codes[f] < cut. Unlike partitionRootBinned there is nothing to gather
+// or validate — flatRows already proved the layout — so the loop is one
+// byte load marching down the feature column at the matrix stride.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func partitionRootBinnedFlat(base unsafe.Pointer, stride uintptr, n int,
+	outp unsafe.Pointer, foff uintptr, cut uint8) int {
+	l, m := 0, n-1
+	p := unsafe.Add(base, foff)
+	for k := 0; k < n; k++ {
+		cv := *(*uint8)(p)
+		p = unsafe.Add(p, stride)
+		off, w := m, 0
+		if cv < cut {
+			off, w = 0, 1
+		}
+		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = int32(k)
+		l += w
+		m--
+	}
+	return l
+}
+
+// partitionSegBinnedFlat is partitionSegBinned with the row pointer
+// computed as base + idx·stride instead of loaded from the gather table.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func partitionSegBinnedFlat(srcp, outp unsafe.Pointer, n int,
+	base unsafe.Pointer, stride, foff uintptr, cut uint8) int {
+	l, m := 0, n-1
+	for k := 0; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(base, uintptr(uint32(idx))*stride+foff))
+		off, w := m, 0
+		if cv < cut {
+			off, w = 0, 1
+		}
+		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = idx
+		l += w
+		m--
+	}
+	return l
+}
+
+// leafPairSegBinnedFlat finishes a segment whose node has two leaf
+// children in one compare-and-deliver pass over the flat matrix.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func leafPairSegBinnedFlat(srcp unsafe.Pointer, n int, base unsafe.Pointer, stride, foff uintptr,
+	cut uint8, dstp, payp unsafe.Pointer, add bool) {
+	if add {
+		for k := 0; k < n; k++ {
+			idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+			cv := *(*uint8)(unsafe.Add(base, uintptr(uint32(idx))*stride+foff))
+			off := uintptr(8)
+			if cv < cut {
+				off = 0
+			}
+			*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) += *(*float64)(unsafe.Add(payp, off))
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(base, uintptr(uint32(idx))*stride+foff))
+		off := uintptr(8)
+		if cv < cut {
+			off = 0
+		}
+		*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) = *(*float64)(unsafe.Add(payp, off))
+	}
+}
+
+// walkSegBinnedFlat finishes a small segment sample-major down the
+// packed subtree, computing each row's base address by stride. The
+// unchecked byte loads are safe because flatRows proved every row spans
+// the full stride ≥ needLen.
+//
+//hddlint:noalloc
+//hddlint:binned
+func walkSegBinnedFlat(nodes []binnedNode, seg []int32, base unsafe.Pointer, stride uintptr,
+	dst, payload []float64, node int32, add bool) {
+	for _, idx := range seg {
+		row := unsafe.Add(base, uintptr(uint32(idx))*stride)
+		i := node
+		for {
+			nd := &nodes[i]
+			f := nd.feature
+			if f < 0 {
+				break
+			}
+			if *(*uint8)(unsafe.Add(row, uintptr(f))) < nd.cut {
+				i = nd.left
+			} else {
+				i = nd.left + 1
+			}
+		}
+		if add {
+			dst[idx] += payload[i]
+		} else {
+			dst[idx] = payload[i]
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package cart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hddcart/internal/dataset"
+)
+
+// binnedFixture trains a binned classifier, rebuilds the matching
+// BinnedMatrix, and quantizes the training corpus — the setup every
+// binned-inference test shares.
+func binnedFixture(t *testing.T, seed int64, n, nf, maxBins int) (*Tree, *dataset.BinnedMatrix, [][]float64, [][]uint8) {
+	t.Helper()
+	x, y, w := synthClassification(seed, n, nf)
+	tree, err := TrainClassifier(x, y, w, Params{LossFA: 10, MaxBins: maxBins, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := dataset.BinMatrix(x, maxBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, err := bm.Quantize(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, bm, x, codes
+}
+
+// requireBinnedBitIdentical checks every binned prediction surface
+// against the float compiled tree, row for row.
+func requireBinnedBitIdentical(t *testing.T, ct *CompiledTree, bt *BinnedTree, x [][]float64, codes [][]uint8) {
+	t.Helper()
+	for i := range x {
+		want, got := ct.Predict(x[i]), bt.Predict(codes[i])
+		if want != got && !(math.IsNaN(want) && math.IsNaN(got)) {
+			t.Fatalf("row %d: Predict diverged: float %v, binned %v", i, want, got)
+		}
+		if ct.PredictFailed(x[i]) != bt.PredictFailed(codes[i]) {
+			t.Fatalf("row %d: PredictFailed diverged", i)
+		}
+		pw, pg := ct.ProbFailed(x[i]), bt.ProbFailed(codes[i])
+		if pw != pg && !(math.IsNaN(pw) && math.IsNaN(pg)) {
+			t.Fatalf("row %d: ProbFailed diverged: %v vs %v", i, pw, pg)
+		}
+	}
+	preds := bt.PredictBatch(codes, nil)
+	probs := bt.ProbFailedBatch(codes, nil)
+	for i := range codes {
+		if want := bt.Predict(codes[i]); preds[i] != want && !(math.IsNaN(preds[i]) && math.IsNaN(want)) {
+			t.Fatalf("PredictBatch[%d] = %v, want %v", i, preds[i], want)
+		}
+		pw := bt.ProbFailed(codes[i])
+		if probs[i] != pw && !(math.IsNaN(probs[i]) && math.IsNaN(pw)) {
+			t.Fatalf("ProbFailedBatch[%d] = %v, want %v", i, probs[i], pw)
+		}
+	}
+}
+
+// TestCompileBinnedCorpusBitIdentical is the training-corpus half of the
+// equivalence contract: a binned-trained tree scores every corpus row
+// bit-identically through the float and binned engines, at every bin
+// budget — including coarse ones where thresholds straddle bins and
+// Exact is cleared.
+func TestCompileBinnedCorpusBitIdentical(t *testing.T) {
+	for _, maxBins := range []int{1, 8, 32, 255} {
+		tree, bm, x, codes := binnedFixture(t, 41, 900, 6, maxBins)
+		ct := tree.Compile()
+		bt, err := ct.CompileBinned(bm)
+		if err != nil {
+			t.Fatalf("maxBins %d: %v", maxBins, err)
+		}
+		if bt.NumNodes() != ct.NumNodes() {
+			t.Fatalf("maxBins %d: node count changed: %d vs %d", maxBins, bt.NumNodes(), ct.NumNodes())
+		}
+		requireBinnedBitIdentical(t, ct, bt, x, codes)
+	}
+}
+
+// TestCompileBinnedExactUniversal is the Exact half of the contract: when
+// every threshold cleanly separates bins (singleton-bin fast path), the
+// binned tree matches the float path on arbitrary bin-representative
+// inputs, not just corpus rows — including rows with injected NaN, which
+// must route right through the reserved missing code exactly as the
+// float path routes NaN.
+func TestCompileBinnedExactUniversal(t *testing.T) {
+	x, y, w := synthDyadicClassification(7, 600, 5)
+	tree, err := TrainClassifier(x, y, w, Params{LossFA: 10, MaxBins: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := dataset.BinMatrix(x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compile()
+	bt, err := ct.CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.Exact {
+		t.Fatal("singleton-bin compile should be Exact")
+	}
+	// Corpus rows with NaN injected feature by feature stay within the
+	// bin-representative input set (NaN maps to the reserved code).
+	rng := rand.New(rand.NewSource(99))
+	probes := append([][]float64(nil), x...)
+	for i := 0; i < 200; i++ {
+		p := append([]float64(nil), x[rng.Intn(len(x))]...)
+		p[rng.Intn(len(p))] = math.NaN()
+		probes = append(probes, p)
+	}
+	codes, err := bm.Quantize(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBinnedBitIdentical(t, ct, bt, probes, codes)
+}
+
+// TestCompileBinnedExactFlag pins the straddle rule: a threshold strictly
+// inside a bin's value range clears Exact, and the compiled cut is the
+// first bin not entirely below the threshold.
+func TestCompileBinnedExactFlag(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	bm, err := dataset.BinMatrix(x, 2) // bins [1,4] and [5,8]
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(threshold float64) *CompiledTree {
+		ct := (&Tree{
+			Root: &Node{
+				Feature: 0, Threshold: threshold,
+				Left:  &Node{Value: -1, PFailed: 1, N: 1, W: 1},
+				Right: &Node{Value: 1, PFailed: 0, N: 1, W: 1},
+			},
+			Kind: Classification, NumFeatures: 1,
+		}).Compile()
+		if err := ct.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+	// 4.5 is the edge between the bins: exact, cut 1.
+	bt, err := build(4.5).CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.Exact || bt.Cut[0] != 1 {
+		t.Fatalf("edge threshold: Exact=%v Cut=%d, want true/1", bt.Exact, bt.Cut[0])
+	}
+	// 2.5 falls strictly inside bin 0's [1,4]: inexact, cut 0 (the whole
+	// bin routes right — conservative).
+	bt, err = build(2.5).CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Exact || bt.Cut[0] != 0 {
+		t.Fatalf("straddling threshold: Exact=%v Cut=%d, want false/0", bt.Exact, bt.Cut[0])
+	}
+}
+
+func TestCompileBinnedErrors(t *testing.T) {
+	x, y, w := synthClassification(3, 200, 4)
+	tree, err := TrainClassifier(x, y, w, Params{MaxBins: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tree.Compile()
+	if _, err := ct.CompileBinned(nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	narrow, err := dataset.BinMatrix([][]float64{{1}, {2}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.CompileBinned(narrow); err == nil {
+		t.Error("narrow matrix accepted")
+	}
+	bad := &CompiledTree{}
+	if _, err := bad.CompileBinned(narrow); err == nil {
+		t.Error("invalid compiled tree accepted")
+	}
+}
+
+// TestBinnedSingleLeaf covers the degenerate no-split tree through both
+// the scalar and partitioned batch paths.
+func TestBinnedSingleLeaf(t *testing.T) {
+	ct := (&Tree{
+		Root: &Node{Value: -1, PFailed: 0.9, N: 3, W: 3},
+		Kind: Classification, NumFeatures: 2,
+	}).Compile()
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := dataset.BinMatrix([][]float64{{0, 1}, {2, 3}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := ct.CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([][]uint8, 200)
+	for i := range codes {
+		codes[i] = []uint8{uint8(i % 3), uint8(i % 2)}
+	}
+	for _, got := range bt.PredictBatch(codes, nil) {
+		if got != -1 {
+			t.Fatalf("single-leaf batch predicted %v, want -1", got)
+		}
+	}
+	if bt.ProbFailed(codes[0]) != 0.9 {
+		t.Fatalf("ProbFailed = %v, want 0.9", bt.ProbFailed(codes[0]))
+	}
+}
+
+// TestBinnedBatchBoundaries sweeps batch sizes that straddle the scalar
+// cutoff and the block size, proving the partitioned engine is
+// bit-identical to the per-row walk at every seam.
+func TestBinnedBatchBoundaries(t *testing.T) {
+	tree, bm, _, codes := binnedFixture(t, 13, 2600, 5, 24)
+	bt, err := tree.Compile().CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, minPartitionBatch - 1, minPartitionBatch, minPartitionBatch + 1,
+		partitionBlock - 1, partitionBlock, partitionBlock + 1, len(codes)} {
+		batch := codes[:n]
+		got := bt.PredictBatch(batch, nil)
+		for i := range batch {
+			if want := bt.Predict(batch[i]); got[i] != want {
+				t.Fatalf("n=%d: PredictBatch[%d] = %v, want %v", n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestAccumulateBatchBinned checks ensemble accumulation against the
+// per-tree scalar sum, in tree order, across the block boundary.
+func TestAccumulateBatchBinned(t *testing.T) {
+	var trees []*BinnedTree
+	var bm *dataset.BinnedMatrix
+	var codes [][]uint8
+	for i, seed := range []int64{5, 6, 7} {
+		tree, m, _, c := binnedFixture(t, seed, 1500, 4, 16)
+		if i == 0 {
+			bm, codes = m, c
+		}
+		// All fixtures share the synth distribution; rebuild each tree's
+		// cuts against the first fixture's matrix so one code row feeds
+		// the whole ensemble.
+		bt, err := tree.Compile().CompileBinned(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, bt)
+	}
+	for _, n := range []int{minPartitionBatch - 1, partitionBlock + 37, len(codes)} {
+		batch := codes[:n]
+		dst := make([]float64, n)
+		AccumulateBatchBinned(trees, batch, dst)
+		for i := range batch {
+			want := 0.0
+			for _, bt := range trees {
+				want += bt.Predict(batch[i])
+			}
+			if dst[i] != want {
+				t.Fatalf("n=%d: AccumulateBatchBinned[%d] = %v, want %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestBinnedBatchNoAlloc proves the //hddlint:noalloc contract for the
+// binned batch kernels with caller-supplied buffers.
+func TestBinnedBatchNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool sheds items under the race detector")
+	}
+	tree, bm, _, codes := binnedFixture(t, 9, 400, 5, 32)
+	bt, err := tree.Compile().CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := []*BinnedTree{bt, bt, bt}
+	dst := make([]float64, len(codes))
+	allocs := testing.AllocsPerRun(20, func() {
+		out := bt.PredictBatch(codes, dst)
+		if &out[0] != &dst[0] {
+			t.Fatal("PredictBatch did not reuse the provided buffer")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictBatch allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() { bt.PredictBatchAdd(codes, dst) })
+	if allocs != 0 {
+		t.Fatalf("PredictBatchAdd allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() { bt.ProbFailedBatch(codes, dst) })
+	if allocs != 0 {
+		t.Fatalf("ProbFailedBatch allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() { AccumulateBatchBinned(trees, codes, dst) })
+	if allocs != 0 {
+		t.Fatalf("AccumulateBatchBinned allocated %.0f times per run", allocs)
+	}
+	row := make([]uint8, bm.NumFeatures)
+	allocs = testing.AllocsPerRun(20, func() { bm.QuantizeRow([]float64{1, 2, 3, 4, 5}, row) })
+	if allocs != 0 {
+		t.Fatalf("QuantizeRow allocated %.0f times per run", allocs)
+	}
+}
+
+// TestBinnedShortRowRejected proves the partitioned path falls back (and
+// stays correct) when a code row is shorter than the deepest feature the
+// tree reads — the same row-validation contract the float engine has.
+// Rows here are exactly needLen long, shorter than NumFeatures.
+func TestBinnedShortRowRejected(t *testing.T) {
+	tree, bm, _, codes := binnedFixture(t, 21, 800, 6, 16)
+	bt, err := tree.Compile().CompileBinned(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.needLen == 0 {
+		t.Skip("degenerate tree")
+	}
+	short := make([][]uint8, len(codes))
+	for i := range codes {
+		short[i] = codes[i][:bt.needLen]
+	}
+	got := bt.PredictBatch(short, nil)
+	for i := range short {
+		if want := bt.Predict(codes[i]); got[i] != want {
+			t.Fatalf("short-row batch[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}

@@ -44,9 +44,23 @@ func (c *BinnedColumn) MissingCode() uint8 { return uint8(c.NumBins) }
 // computed exactly as the presorted exact path computes the midpoint
 // between two consecutive distinct values. Samples with values ≤ Upper[a]
 // compare < threshold (they go left); samples ≥ Lower[b] do not.
+//
+// Infinite bounds need care: the naive midpoint of −Inf and a finite (or
+// +Inf) bound is NaN, and a NaN threshold mis-routes at inference (x < NaN
+// is false for every x, sending the whole left bin right). When bin a is
+// the −Inf bin the threshold is b's lower bound itself (−Inf < t holds,
+// v ≥ Lower[b] < t does not); when both bounds are infinite any finite
+// value separates and 0 is used. A +Inf right bound needs no special case:
+// the midpoint is +Inf, and x < +Inf routes every finite value left.
 func (c *BinnedColumn) EdgeBetween(a, b int) float64 {
-	u := c.Upper[a]
-	return u + (c.Lower[b]-u)/2
+	u, l := c.Upper[a], c.Lower[b]
+	switch {
+	case math.IsInf(u, -1) && math.IsInf(l, 1):
+		return 0
+	case math.IsInf(u, -1):
+		return l
+	}
+	return u + (l-u)/2
 }
 
 // BinnedMatrix is the columnar quantized view of a feature matrix:
@@ -181,3 +195,65 @@ func binBounds(vals []float64, maxBins int) (lower, upper []float64) {
 //
 //hddlint:floatcmp operands are copies of stored feature values from a sorted column, so this tests value identity, not the result of arithmetic
 func distinct(a, b float64) bool { return a != b }
+
+// CodeOf quantizes one raw value with the column's binning rule: the
+// smallest bin whose upper bound covers v, exactly as BinColumn assigns
+// codes at construction. NaN takes the reserved missing code. A finite
+// value above the top bin's upper bound also takes the reserved code —
+// it routes right at every split, which is exact for any threshold that
+// lies at or below the corpus's largest value (every threshold a trained
+// tree produces).
+func (c *BinnedColumn) CodeOf(v float64) uint8 {
+	if math.IsNaN(v) {
+		return uint8(c.NumBins)
+	}
+	return uint8(sort.SearchFloat64s(c.Upper, v))
+}
+
+// CutFor remaps a split threshold onto the column's code space: the cut
+// is the code the threshold itself would quantize to, so a sample routes
+// left under the binned comparison code < cut exactly when a
+// bin-representative value routes left under v < t. exact reports
+// whether the remapping is lossless for every value the column's bins
+// can represent: it is false only when t falls strictly inside some
+// bin's [Lower, Upper] value range, where corpus values on both sides of
+// t share a code and no cut can reproduce the float comparison.
+func (c *BinnedColumn) CutFor(t float64) (cut uint8, exact bool) {
+	i := sort.SearchFloat64s(c.Upper, t)
+	return uint8(i), i == c.NumBins || t <= c.Lower[i]
+}
+
+// QuantizeRow writes x's per-feature bin codes into dst using each
+// column's CodeOf rule. Both slices must hold at least NumFeatures
+// entries; the codes land at the feature's own index. It is
+// allocation-free, so inference paths can reuse one scratch row.
+//
+//hddlint:noalloc
+func (bm *BinnedMatrix) QuantizeRow(x []float64, dst []uint8) {
+	for f := range bm.Cols {
+		dst[f] = bm.Cols[f].CodeOf(x[f])
+	}
+}
+
+// Quantize maps whole rows onto the matrix's code space: one uint8 row
+// per input row, all backed by a single allocation so a quantized fleet
+// block stays contiguous in memory (the working set is NumFeatures bytes
+// per sample instead of 8·NumFeatures). Rows must carry at least
+// NumFeatures values. The result feeds the binned inference engine
+// (cart.CompileBinned and the detect binned scans).
+func (bm *BinnedMatrix) Quantize(xs [][]float64) ([][]uint8, error) {
+	for i := range xs {
+		if len(xs[i]) < bm.NumFeatures {
+			return nil, fmt.Errorf("dataset: quantize row %d has %d of %d features",
+				i, len(xs[i]), bm.NumFeatures)
+		}
+	}
+	flat := make([]uint8, len(xs)*bm.NumFeatures)
+	out := make([][]uint8, len(xs))
+	for i, row := range xs {
+		dst := flat[i*bm.NumFeatures : (i+1)*bm.NumFeatures : (i+1)*bm.NumFeatures]
+		bm.QuantizeRow(row, dst)
+		out[i] = dst
+	}
+	return out, nil
+}

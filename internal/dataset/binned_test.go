@@ -254,3 +254,156 @@ func FuzzBinColumn(f *testing.F) {
 		checkColumnInvariants(t, x, 0, maxBins, col)
 	})
 }
+
+// TestCodeOfMatchesConstruction: quantizing a corpus value after the fact
+// must reproduce the code BinColumn assigned at construction — the
+// binned inference engine depends on Quantize being a pure re-derivation.
+func TestCodeOfMatchesConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 0, 600)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, math.Round(rng.NormFloat64()*8)/4)
+	}
+	vals = append(vals, math.Inf(1), math.Inf(-1), math.NaN(), 0, math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64)
+	x := column(vals...)
+	for _, maxBins := range []int{1, 7, 32, 255} {
+		col := BinColumn(x, 0, maxBins)
+		for i := range x {
+			if got := col.CodeOf(x[i][0]); got != col.Codes[i] {
+				t.Fatalf("maxBins %d: CodeOf(%v) = %d, construction code %d",
+					maxBins, x[i][0], got, col.Codes[i])
+			}
+		}
+	}
+}
+
+// TestCodeOfAboveTopBin: finite values above the corpus maximum take the
+// reserved always-right code.
+func TestCodeOfAboveTopBin(t *testing.T) {
+	col := BinColumn(column(1, 2, 3), 0, 255)
+	if got := col.CodeOf(4); int(got) != col.NumBins {
+		t.Fatalf("CodeOf(4) = %d, want reserved %d", got, col.NumBins)
+	}
+}
+
+// TestCutFor covers the remapping rule: thresholds in the gaps between
+// bins (where trained trees place them) are exact; thresholds strictly
+// inside a bin's value range are not.
+func TestCutFor(t *testing.T) {
+	col := BinColumn(column(1, 1, 2, 2, 5, 5, 9), 0, 4)
+	if col.NumBins != 4 {
+		t.Fatalf("fixture drifted: NumBins = %d, want 4", col.NumBins)
+	}
+	cases := []struct {
+		t     float64
+		cut   uint8
+		exact bool
+	}{
+		{1.5, 1, true},          // gap between bins 0 and 1
+		{2, 1, true},            // exactly a bin's lower bound: that bin routes right
+		{3.5, 2, true},          // gap between bins 1 and 2
+		{100, 4, true},          // above everything: all finite bins left
+		{math.Inf(-1), 0, true}, // nothing below -Inf
+		{0.5, 0, true},          // below everything: all bins right
+	}
+	for _, c := range cases {
+		cut, exact := col.CutFor(c.t)
+		if cut != c.cut || exact != c.exact {
+			t.Errorf("CutFor(%v) = (%d, %v), want (%d, %v)", c.t, cut, exact, c.cut, c.exact)
+		}
+	}
+	// A multi-value bin straddled by a threshold cannot be remapped.
+	wide := BinColumn(column(1, 2, 3, 4, 5, 6, 7, 8), 0, 2)
+	if wide.NumBins != 2 {
+		t.Fatalf("fixture drifted: NumBins = %d, want 2", wide.NumBins)
+	}
+	if _, exact := wide.CutFor(wide.Lower[0] + 0.5); exact {
+		t.Fatalf("threshold inside bin 0 [%v, %v] reported exact", wide.Lower[0], wide.Upper[0])
+	}
+}
+
+// TestQuantizeRoundTrip: Quantize over the corpus itself reproduces the
+// columnar construction codes row for row, and rejects short rows.
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := make([][]float64, 200)
+	for i := range x {
+		row := make([]float64, 4)
+		for f := range row {
+			row[f] = math.Round(rng.NormFloat64() * 4)
+			if rng.Intn(17) == 0 {
+				row[f] = math.NaN()
+			}
+		}
+		x[i] = row
+	}
+	bm, err := BinMatrix(x, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, err := bm.Quantize(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range codes {
+		for f, c := range row {
+			if want := bm.Cols[f].Codes[i]; c != want {
+				t.Fatalf("row %d feature %d: Quantize code %d, construction code %d", i, f, c, want)
+			}
+		}
+	}
+	if _, err := bm.Quantize([][]float64{{1, 2}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+// TestEdgeBetweenInfiniteBounds pins the threshold rule at infinite bin
+// bounds: the naive midpoint of a −Inf upper bound is NaN, which would
+// mis-route the whole left bin at inference (x < NaN is always false).
+// Found by the cross-path equivalence harness: the tree trained over a
+// corpus with −Inf values failed to seal on its NaN threshold.
+func TestEdgeBetweenInfiniteBounds(t *testing.T) {
+	col := BinColumn([][]float64{
+		{math.Inf(-1)}, {math.Inf(-1)}, {-3}, {-3}, {7}, {7}, {math.Inf(1)}, {math.Inf(1)},
+	}, 0, 8)
+	if col.NumBins != 4 {
+		t.Fatalf("NumBins = %d, want 4 singleton bins", col.NumBins)
+	}
+	// −Inf bin to finite bin: threshold is the right bin's lower bound.
+	if got := col.EdgeBetween(0, 1); got != -3 {
+		t.Fatalf("EdgeBetween(-Inf bin, -3 bin) = %v, want -3", got)
+	}
+	// Finite bin to +Inf bin: the midpoint +Inf routes all finite left.
+	if got := col.EdgeBetween(2, 3); !math.IsInf(got, 1) {
+		t.Fatalf("EdgeBetween(7 bin, +Inf bin) = %v, want +Inf", got)
+	}
+	for a := 0; a < col.NumBins; a++ {
+		for b := a + 1; b < col.NumBins; b++ {
+			tr := col.EdgeBetween(a, b)
+			if math.IsNaN(tr) {
+				t.Fatalf("EdgeBetween(%d,%d) is NaN", a, b)
+			}
+			// The threshold must actually separate the bins under the
+			// inference rule x < t.
+			if !(col.Upper[a] < tr) {
+				t.Fatalf("EdgeBetween(%d,%d) = %v does not route Upper[%d]=%v left", a, b, tr, a, col.Upper[a])
+			}
+			if col.Lower[b] < tr {
+				t.Fatalf("EdgeBetween(%d,%d) = %v routes Lower[%d]=%v left", a, b, tr, b, col.Lower[b])
+			}
+		}
+	}
+}
+
+// TestEdgeBetweenBothInfinite covers the degenerate two-bin column
+// {−Inf}, {+Inf}: any finite threshold separates, and 0 is used.
+func TestEdgeBetweenBothInfinite(t *testing.T) {
+	col := BinColumn([][]float64{{math.Inf(-1)}, {math.Inf(1)}}, 0, 8)
+	if col.NumBins != 2 {
+		t.Fatalf("NumBins = %d, want 2", col.NumBins)
+	}
+	if got := col.EdgeBetween(0, 1); got != 0 {
+		t.Fatalf("EdgeBetween(-Inf bin, +Inf bin) = %v, want 0", got)
+	}
+}

@@ -117,33 +117,12 @@ func (v *Voting) Detect(xs [][]float64) int {
 			scores = make([]float64, len(xs))
 		}
 		scores = scores[:len(xs)]
-		// Valid scores are compacted in place into scores[:m] as the sweep
-		// advances (m never catches up with the chunk being scored), so
-		// the window arithmetic below runs on valid samples only while the
-		// alarm index stays in series coordinates.
-		votes, m, idx := 0, 0, -1
-	sweep:
-		for lo := 0; lo < len(xs); lo += detectChunk {
+		sw := votingSweep{scores: scores, threshold: v.Threshold, n: n}
+		idx := -1
+		for lo := 0; lo < len(xs) && idx < 0; lo += detectChunk {
 			hi := min(lo+detectChunk, len(xs))
 			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
-			for i := lo; i < hi; i++ {
-				s := scores[i]
-				if s != s {
-					continue // invalid prediction: excluded, not counted
-				}
-				scores[m] = s
-				m++
-				if s < v.Threshold {
-					votes++
-				}
-				if m > n && scores[m-n-1] < v.Threshold {
-					votes--
-				}
-				if m >= n && 2*votes > n {
-					idx = i
-					break sweep
-				}
-			}
+			idx = sw.feed(lo, hi)
 		}
 		*bufp = scores
 		scoreBuf.Put(bufp)
@@ -229,29 +208,12 @@ func (m *MeanThreshold) Detect(xs [][]float64) int {
 			scores = make([]float64, len(xs))
 		}
 		scores = scores[:len(xs)]
-		// Same in-place compaction as Voting.Detect: the rolling sum only
-		// ever sees valid scores.
-		sum, cnt, idx := 0.0, 0, -1
-	sweep:
-		for lo := 0; lo < len(xs); lo += detectChunk {
+		sw := meanSweep{scores: scores, threshold: m.Threshold, n: n}
+		idx := -1
+		for lo := 0; lo < len(xs) && idx < 0; lo += detectChunk {
 			hi := min(lo+detectChunk, len(xs))
 			bp.PredictBatch(xs[lo:hi], scores[lo:hi])
-			for i := lo; i < hi; i++ {
-				s := scores[i]
-				if s != s {
-					continue // invalid prediction: excluded, not counted
-				}
-				scores[cnt] = s
-				cnt++
-				sum += s
-				if cnt > n {
-					sum -= scores[cnt-n-1]
-				}
-				if cnt >= n && sum/float64(n) < m.Threshold {
-					idx = i
-					break sweep
-				}
-			}
+			idx = sw.feed(lo, hi)
 		}
 		*bufp = scores
 		scoreBuf.Put(bufp)
@@ -413,46 +375,12 @@ func (m *MultiVoting) Validate() error {
 // alarm indexes reported in series coordinates — identical to running
 // Voting per window size.
 func (m *MultiVoting) DetectAll(xs [][]float64) []int {
-	out := make([]int, len(m.Voters))
-	for i := range out {
-		out[i] = -1
-	}
 	if len(m.Voters) == 0 {
-		return out
+		return []int{}
 	}
 	scores := make([]float64, len(xs))
 	scoreInto(m.Model, xs, scores, m.Workers)
-	// Compact away invalid scores, remembering each valid score's series
-	// index so alarms are reported against the original samples.
-	orig := make([]int, 0, len(xs))
-	valid := scores[:0]
-	for i, s := range scores {
-		if s != s {
-			continue
-		}
-		valid = append(valid, s)
-		orig = append(orig, i)
-	}
-	// Prefix counts of failed votes: fails[i] = #failed among valid[:i].
-	fails := make([]int, len(valid)+1)
-	for i, s := range valid {
-		fails[i+1] = fails[i]
-		if s < m.Threshold {
-			fails[i+1]++
-		}
-	}
-	for vi, n := range m.Voters {
-		if n < 1 {
-			n = 1
-		}
-		for i := n - 1; i < len(valid); i++ {
-			if 2*(fails[i+1]-fails[i+1-n]) > n {
-				out[vi] = orig[i]
-				break
-			}
-		}
-	}
-	return out
+	return multiVoteAlarms(scores, m.Voters, m.Threshold)
 }
 
 // ScanAll runs DetectAll and converts each alarm into an Outcome (as Scan

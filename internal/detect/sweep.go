@@ -1,0 +1,154 @@
+package detect
+
+// The chunked detectors — float and binned alike — interleave scoring
+// with a NaN-excluding window sweep so an early alarm stops scoring the
+// rest of a series. The sweep state lives here, shared by both input
+// types: valid scores are compacted in place into scores[:m] as the
+// sweep advances (m never catches up with the chunk being scored), so
+// the window arithmetic runs on valid samples only while the alarm index
+// stays in series coordinates. Keeping one implementation is what makes
+// the binned detectors' alarm indexes identical to the float ones by
+// construction rather than by parallel maintenance.
+
+// votingSweep is the voting-window state: alarm at the first index where
+// more than n/2 of the last n valid scores fall below threshold.
+type votingSweep struct {
+	scores    []float64
+	threshold float64
+	n         int
+	votes     int
+	m         int
+}
+
+// feed sweeps scores[lo:hi] (just scored by the model) and returns the
+// alarm index, or -1 to continue with the next chunk.
+func (sw *votingSweep) feed(lo, hi int) int {
+	// The sweep is ~1/5 of fleet-scan time, so the loop keeps its state in
+	// locals (the compiler would otherwise spill every sw field store) and
+	// writes back only at the exits.
+	scores, thr, n := sw.scores, sw.threshold, sw.n
+	m, votes := sw.m, sw.votes
+	// Bulk skip: across a run of ≥ n clean non-fails (s ≥ thr excludes
+	// fails and NaN alike), the vote count only decays, so if the window
+	// enters the run below alarm level (2·votes ≤ n) no alarm can fire
+	// inside it, and the window leaves holding n clean samples: m jumps to
+	// the run's end, votes to 0. That replaces the full sweep with one
+	// predictable compare per sample on healthy stretches — which dominate
+	// a fleet — while fail clusters take the exact per-sample path. The
+	// skip needs m == i (no NaN was ever compacted away, so window
+	// positions equal series positions); tryBulk stops a short clean gap
+	// from being re-scanned once per sample between two fails.
+	tryBulk := true
+	i := lo
+	for i < hi {
+		if tryBulk && m == i && 2*votes <= n {
+			j := i
+			for j < hi && scores[j] >= thr {
+				j++
+			}
+			if j-i >= n {
+				m, votes = j, 0
+				i = j
+				continue
+			}
+			tryBulk = false
+		}
+		s := scores[i]
+		i++
+		if s != s {
+			continue // invalid prediction: excluded, not counted
+		}
+		scores[m] = s
+		m++
+		if s < thr {
+			votes++
+			tryBulk = true // the blocking fail is behind us now
+		}
+		if m > n && scores[m-n-1] < thr {
+			votes--
+		}
+		if m >= n && 2*votes > n {
+			sw.m, sw.votes = m, votes
+			return i - 1
+		}
+	}
+	sw.m, sw.votes = m, votes
+	return -1
+}
+
+// meanSweep is the health-degree state: alarm at the first index where
+// the mean of the last n valid scores drops below threshold. The rolling
+// sum adds and subtracts the same scores in the same order as the
+// streaming path, so the mean comparison is bit-identical.
+type meanSweep struct {
+	scores    []float64
+	threshold float64
+	n         int
+	sum       float64
+	cnt       int
+}
+
+// feed sweeps scores[lo:hi] and returns the alarm index, or -1.
+func (sw *meanSweep) feed(lo, hi int) int {
+	scores, thr, n := sw.scores, sw.threshold, sw.n
+	cnt, sum := sw.cnt, sw.sum
+	for i := lo; i < hi; i++ {
+		s := scores[i]
+		if s != s {
+			continue // invalid prediction: excluded, not counted
+		}
+		scores[cnt] = s
+		cnt++
+		sum += s
+		if cnt > n {
+			sum -= scores[cnt-n-1]
+		}
+		if cnt >= n && sum/float64(n) < thr {
+			sw.cnt, sw.sum = cnt, sum
+			return i
+		}
+	}
+	sw.cnt, sw.sum = cnt, sum
+	return -1
+}
+
+// multiVoteAlarms turns one fully scored series into per-window alarm
+// indexes: invalid scores are compacted away (remembering each valid
+// score's series index), failed votes become prefix counts, and every
+// window size reads the same counts — identical to running Voting per
+// window size, at one scoring pass.
+func multiVoteAlarms(scores []float64, voters []int, threshold float64) []int {
+	out := make([]int, len(voters))
+	for i := range out {
+		out[i] = -1
+	}
+	orig := make([]int, 0, len(scores))
+	valid := scores[:0]
+	for i, s := range scores {
+		if s != s {
+			continue
+		}
+		valid = append(valid, s)
+		orig = append(orig, i)
+	}
+	// Prefix counts of failed votes: fails[i] = #failed among valid[:i].
+	fails := make([]int, len(valid)+1)
+	for i, s := range valid {
+		fails[i+1] = fails[i]
+		if s < threshold {
+			fails[i+1]++
+		}
+	}
+	for vi, n := range voters {
+		if n < 1 {
+			n = 1
+		}
+		for i := n - 1; i < len(valid); i++ {
+			if 2*(fails[i+1]-fails[i+1-n]) > n {
+				out[vi] = orig[i]
+				break
+			}
+		}
+	}
+	return out
+}

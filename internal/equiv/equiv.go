@@ -1,0 +1,487 @@
+// Package equiv is a differential test harness for the model scoring
+// paths: it generates adversarial feature matrices (ties on bin
+// boundaries, ±Inf, NaN, denormals, single-bin features), trains a model
+// over them, compiles every inference form — pointer tree, flat-array
+// compiled tree, binned-code tree — and asserts that any two paths score
+// bit-identically, whatever batch block size or worker count each uses.
+//
+// The contract it enforces is the one the inference engines document:
+//
+//   - pointer vs compiled: bit-identical on every input, always;
+//   - float vs binned: bit-identical on every row of the corpus the
+//     binning was built from when the model was trained with the same
+//     bin budget (straddled thresholds are never evaluated by rows that
+//     reach them), and on every bin-representative input when the
+//     remapping is Exact;
+//   - batch vs scalar, any block size, any worker count: bit-identical
+//     by construction — each sample's score lands at its own index.
+//
+// The harness generalizes the PR 2 compiled-equivalence suite: instead
+// of a fixed pair of engines it takes any two Paths (a name plus a
+// scoring function), so new inference forms plug in as one constructor.
+package equiv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"hddcart/internal/cart"
+	"hddcart/internal/dataset"
+	"hddcart/internal/detect"
+)
+
+// Spec parameterizes one generated equivalence case. The zero value is
+// not runnable; Rows, Features and MaxBins must be positive.
+type Spec struct {
+	// Rows and Features shape the corpus matrix.
+	Rows, Features int
+	// MaxBins is the bin budget for both training and the binned matrix
+	// (1..255). Budgets below the distinct-value count force multi-value
+	// bins, the regime where thresholds can straddle bins.
+	MaxBins int
+	// Seed drives every random choice; a Spec is fully deterministic.
+	Seed int64
+	// Regression selects a regression tree (health degrees) instead of a
+	// classifier.
+	Regression bool
+	// DistinctValues bounds each feature's value pool. Small pools
+	// produce heavy ties — runs of equal values sitting exactly on bin
+	// boundaries. 0 means unbounded (every value drawn fresh).
+	DistinctValues int
+	// NaNFrac is the probability a cell is NaN (routed via the reserved
+	// missing bin). InfFrac is the probability a cell is ±Inf (ordered
+	// normally by the binning). DenormalFrac is the probability a cell
+	// is a subnormal float.
+	NaNFrac, InfFrac, DenormalFrac float64
+	// SingleBinFeature makes feature 0 constant: one bin, no valid cut
+	// strictly inside it, splits on it impossible — the degenerate
+	// column every quantizer must survive.
+	SingleBinFeature bool
+}
+
+// Case is one generated equivalence case: the corpus, its binning, the
+// model in every inference form, and the quantized corpus rows.
+type Case struct {
+	Spec  Spec
+	X     [][]float64
+	Y     []float64
+	Bins  *dataset.BinnedMatrix
+	Codes [][]uint8
+
+	Tree     *cart.Tree
+	Compiled *cart.CompiledTree
+	Binned   *cart.BinnedTree
+}
+
+// Generate builds a Case from a Spec: draw the matrix, synthesize
+// labels, train with the Spec's bin budget, bin the corpus with the same
+// budget, and compile every scoring form. The generated corpus is the
+// domain on which float and binned scoring must agree bit for bit.
+func Generate(spec Spec) (*Case, error) {
+	if spec.Rows < 8 || spec.Features < 1 {
+		return nil, fmt.Errorf("equiv: spec needs ≥ 8 rows and ≥ 1 feature, got %d×%d", spec.Rows, spec.Features)
+	}
+	if spec.MaxBins < 1 || spec.MaxBins > dataset.MaxBinsLimit {
+		return nil, fmt.Errorf("equiv: MaxBins %d outside [1,%d]", spec.MaxBins, dataset.MaxBinsLimit)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Per-feature value pools: bounded pools make runs of exact ties that
+	// land on bin boundaries; special values go through the same pool so
+	// ties can be ±Inf or denormal too.
+	pools := make([][]float64, spec.Features)
+	for f := range pools {
+		n := spec.DistinctValues
+		if n <= 0 {
+			n = spec.Rows
+		}
+		pool := make([]float64, n)
+		for i := range pool {
+			pool[i] = drawValue(rng, spec)
+		}
+		pools[f] = pool
+	}
+
+	x := make([][]float64, spec.Rows)
+	y := make([]float64, spec.Rows)
+	for i := range x {
+		row := make([]float64, spec.Features)
+		for f := range row {
+			switch {
+			case spec.SingleBinFeature && f == 0:
+				row[f] = 42.5
+			case rng.Float64() < spec.NaNFrac:
+				row[f] = math.NaN()
+			default:
+				row[f] = pools[f][rng.Intn(len(pools[f]))]
+			}
+		}
+		x[i] = row
+		if spec.Regression {
+			y[i] = rng.Float64()*2 - 1
+		} else {
+			y[i] = float64(rng.Intn(2)*2 - 1)
+		}
+	}
+
+	// Noise labels grow deep trees at a tiny CP: splits everywhere the
+	// partitioner can find them, which is exactly the kernel coverage an
+	// equivalence case wants.
+	params := cart.Params{MinSplit: 4, MinBucket: 2, CP: 1e-9, MaxBins: spec.MaxBins, Workers: 1}
+	var (
+		tree *cart.Tree
+		err  error
+	)
+	if spec.Regression {
+		tree, err = cart.TrainRegressor(x, y, nil, params)
+	} else {
+		params.LossFA = 2
+		tree, err = cart.TrainClassifier(x, y, nil, params)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("equiv: train: %w", err)
+	}
+
+	bm, err := dataset.BinMatrix(x, spec.MaxBins)
+	if err != nil {
+		return nil, fmt.Errorf("equiv: bin: %w", err)
+	}
+	ct := tree.Compile()
+	bt, err := ct.CompileBinned(bm)
+	if err != nil {
+		return nil, fmt.Errorf("equiv: compile binned: %w", err)
+	}
+	codes, err := bm.Quantize(x)
+	if err != nil {
+		return nil, fmt.Errorf("equiv: quantize: %w", err)
+	}
+	return &Case{Spec: spec, X: x, Y: y, Bins: bm, Codes: codes,
+		Tree: tree, Compiled: ct, Binned: bt}, nil
+}
+
+// drawValue produces one finite-or-Inf corpus value with the Spec's
+// special-value mix.
+func drawValue(rng *rand.Rand, spec Spec) float64 {
+	r := rng.Float64()
+	switch {
+	case r < spec.InfFrac:
+		return math.Inf(2*rng.Intn(2) - 1)
+	case r < spec.InfFrac+spec.DenormalFrac:
+		// Subnormals: tiny positive/negative values below 2^-1022.
+		v := float64(rng.Intn(1<<20)+1) * 5e-324
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		return v
+	case rng.Intn(4) == 0:
+		return float64(rng.Intn(64)-32) / 8 // coarse grid: extra cross-feature ties
+	default:
+		return rng.NormFloat64() * 100
+	}
+}
+
+// Path is one way of scoring a Case: a name for diagnostics and a
+// function filling dst[i] with the score of row i.
+type Path struct {
+	Name  string
+	Score func(c *Case, dst []float64)
+}
+
+// Mismatch reports the first row where two paths diverge.
+type Mismatch struct {
+	PathA, PathB string
+	Row          int
+	A, B         float64
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("equiv: %s and %s diverge at row %d: %v vs %v (bits %#x vs %#x)",
+		m.PathA, m.PathB, m.Row, m.A, m.B, math.Float64bits(m.A), math.Float64bits(m.B))
+}
+
+// Check scores the case through both paths and returns the first
+// mismatch, or nil when they are bit-identical (NaN equals NaN; +0 and
+// −0 are distinct).
+func Check(c *Case, a, b Path) error {
+	da := make([]float64, len(c.X))
+	db := make([]float64, len(c.X))
+	a.Score(c, da)
+	b.Score(c, db)
+	for i := range da {
+		if !sameBits(da[i], db[i]) {
+			return &Mismatch{PathA: a.Name, PathB: b.Name, Row: i, A: da[i], B: db[i]}
+		}
+	}
+	return nil
+}
+
+// CheckAll checks every path against the first, returning the first
+// mismatch found.
+func CheckAll(c *Case, paths ...Path) error {
+	for _, p := range paths[1:] {
+		if err := Check(c, paths[0], p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameBits is bit-level equality with all NaN payloads identified: the
+// scoring paths produce NaN only via the same math, so any NaN matches
+// any NaN, while +0/−0 and every finite value must match exactly.
+func sameBits(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Pointer scores through the pointer tree, sample by sample.
+func Pointer() Path {
+	return Path{Name: "pointer", Score: func(c *Case, dst []float64) {
+		for i, row := range c.X {
+			dst[i] = c.Tree.Predict(row)
+		}
+	}}
+}
+
+// CompiledScalar scores through the compiled tree's per-sample walk.
+func CompiledScalar() Path {
+	return Path{Name: "compiled", Score: func(c *Case, dst []float64) {
+		for i, row := range c.X {
+			dst[i] = c.Compiled.Predict(row)
+		}
+	}}
+}
+
+// CompiledBatch scores through the compiled batch engine in blocks of
+// the given size (0 = one call for the whole case). Block sizes around
+// the engine's internal partition thresholds exercise every kernel.
+func CompiledBatch(block int) Path {
+	return Path{Name: fmt.Sprintf("compiled-batch/%d", block), Score: func(c *Case, dst []float64) {
+		forEachBlock(len(c.X), block, func(lo, hi int) {
+			c.Compiled.PredictBatch(c.X[lo:hi], dst[lo:hi])
+		})
+	}}
+}
+
+// BinnedScalar scores the quantized rows through the binned per-sample
+// walk.
+func BinnedScalar() Path {
+	return Path{Name: "binned", Score: func(c *Case, dst []float64) {
+		for i, codes := range c.Codes {
+			dst[i] = c.Binned.Predict(codes)
+		}
+	}}
+}
+
+// BinnedBatch scores the quantized rows through the binned batch engine
+// in blocks of the given size (0 = one call).
+func BinnedBatch(block int) Path {
+	return Path{Name: fmt.Sprintf("binned-batch/%d", block), Score: func(c *Case, dst []float64) {
+		forEachBlock(len(c.Codes), block, func(lo, hi int) {
+			c.Binned.PredictBatch(c.Codes[lo:hi], dst[lo:hi])
+		})
+	}}
+}
+
+// BinnedBatchScattered copies every quantized row into its own
+// allocation before scoring, defeating the batch engine's flat-matrix
+// layout detection: the rows out of Quantize share one contiguous
+// backing array and take the stride-arithmetic kernels, so this path
+// pins the gathered-pointer kernels against them.
+func BinnedBatchScattered(block int) Path {
+	return Path{Name: fmt.Sprintf("binned-scattered/%d", block), Score: func(c *Case, dst []float64) {
+		scattered := make([][]uint8, len(c.Codes))
+		for i, codes := range c.Codes {
+			scattered[i] = append([]uint8(nil), codes...)
+		}
+		forEachBlock(len(scattered), block, func(lo, hi int) {
+			c.Binned.PredictBatch(scattered[lo:hi], dst[lo:hi])
+		})
+	}}
+}
+
+// CompiledWorkers scores through the compiled batch engine with the rows
+// sharded across the given number of goroutines — every score lands at
+// its own index, so the result must be identical to any serial path.
+func CompiledWorkers(workers int) Path {
+	return Path{Name: fmt.Sprintf("compiled-workers/%d", workers), Score: func(c *Case, dst []float64) {
+		forEachShard(len(c.X), workers, func(lo, hi int) {
+			c.Compiled.PredictBatch(c.X[lo:hi], dst[lo:hi])
+		})
+	}}
+}
+
+// BinnedWorkers is CompiledWorkers for the binned engine.
+func BinnedWorkers(workers int) Path {
+	return Path{Name: fmt.Sprintf("binned-workers/%d", workers), Score: func(c *Case, dst []float64) {
+		forEachShard(len(c.Codes), workers, func(lo, hi int) {
+			c.Binned.PredictBatch(c.Codes[lo:hi], dst[lo:hi])
+		})
+	}}
+}
+
+// PointerProb, CompiledProb and BinnedProb are the failed-probability
+// surfaces of the classification paths (NaN for regression trees on
+// every path alike).
+func PointerProb() Path {
+	return Path{Name: "pointer-prob", Score: func(c *Case, dst []float64) {
+		for i, row := range c.X {
+			dst[i] = c.Tree.ProbFailed(row)
+		}
+	}}
+}
+
+// CompiledProb is the compiled failed-probability batch surface.
+func CompiledProb() Path {
+	return Path{Name: "compiled-prob", Score: func(c *Case, dst []float64) {
+		c.Compiled.ProbFailedBatch(c.X, dst)
+	}}
+}
+
+// BinnedProb is the binned failed-probability batch surface.
+func BinnedProb() Path {
+	return Path{Name: "binned-prob", Score: func(c *Case, dst []float64) {
+		c.Binned.ProbFailedBatch(c.Codes, dst)
+	}}
+}
+
+// forEachBlock invokes fn over consecutive [lo,hi) blocks.
+func forEachBlock(n, block int, fn func(lo, hi int)) {
+	if block <= 0 {
+		block = n
+	}
+	for lo := 0; lo < n; lo += block {
+		fn(lo, min(lo+block, n))
+	}
+}
+
+// forEachShard splits [0,n) into up to workers contiguous shards and
+// runs them concurrently.
+func forEachShard(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PerturbWithinBin returns a copy of the corpus with every finite value
+// re-drawn uniformly inside its own bin's [Lower, Upper] value range
+// (NaN cells and infinite bin bounds are left untouched). Every
+// perturbed row quantizes to the same codes, so the binned verdicts must
+// not change — the metamorphic property of binned inference.
+func (c *Case) PerturbWithinBin(seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, len(c.X))
+	for i, row := range c.X {
+		p := make([]float64, len(row))
+		copy(p, row)
+		for f, v := range p {
+			if math.IsNaN(v) {
+				continue
+			}
+			col := &c.Bins.Cols[f]
+			b := int(col.CodeOf(v))
+			if b >= col.NumBins {
+				continue // above the top bin: no range to move within
+			}
+			lo, hi := col.Lower[b], col.Upper[b]
+			if lo == hi || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+				continue
+			}
+			nv := lo + rng.Float64()*(hi-lo)
+			if nv > hi {
+				nv = hi
+			}
+			if nv < lo {
+				nv = lo
+			}
+			p[f] = nv
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// CheckDetect runs the float and binned detectors over the corpus as
+// drive series — Voting vs VotingBinned, MeanThreshold vs
+// MeanThresholdBinned, MultiVoting vs MultiVotingBinned at every worker
+// count, and ScanBatch vs ScanBatchBinned — requiring identical alarm
+// indexes and outcomes everywhere. The corpus is split into several
+// series so the fleet paths see more than one drive.
+func CheckDetect(c *Case, voters []int, workers []int) error {
+	series, binned := c.splitSeries(4)
+	for _, n := range voters {
+		fv := &detect.Voting{Model: c.Compiled, Voters: n}
+		bv := &detect.VotingBinned{Model: c.Binned, Voters: n}
+		fm := &detect.MeanThreshold{Model: c.Compiled, Voters: n, Threshold: -0.1}
+		bmn := &detect.MeanThresholdBinned{Model: c.Binned, Voters: n, Threshold: -0.1}
+		for d := range series {
+			if want, got := fv.Detect(series[d].X), bv.Detect(binned[d].Codes); want != got {
+				return fmt.Errorf("equiv: voting N=%d series %d: float alarm %d, binned %d", n, d, want, got)
+			}
+			if want, got := fm.Detect(series[d].X), bmn.Detect(binned[d].Codes); want != got {
+				return fmt.Errorf("equiv: mean N=%d series %d: float alarm %d, binned %d", n, d, want, got)
+			}
+		}
+		for _, w := range workers {
+			fOut := detect.ScanBatch(fv, series, nil, w)
+			bOut := detect.ScanBatchBinned(bv, binned, nil, w)
+			for d := range fOut {
+				if fOut[d] != bOut[d] {
+					return fmt.Errorf("equiv: scan-batch N=%d workers=%d series %d: float %+v, binned %+v",
+						n, w, d, fOut[d], bOut[d])
+				}
+			}
+		}
+	}
+	for _, w := range workers {
+		ref := (&detect.MultiVoting{Model: c.Compiled, Voters: voters, Workers: 1}).DetectAll(series[0].X)
+		got := (&detect.MultiVotingBinned{Model: c.Binned, Voters: voters, Workers: w}).DetectAll(binned[0].Codes)
+		for k := range ref {
+			if ref[k] != got[k] {
+				return fmt.Errorf("equiv: multi-voting workers=%d window %d: float alarm %d, binned %d",
+					w, voters[k], ref[k], got[k])
+			}
+		}
+	}
+	return nil
+}
+
+// splitSeries slices the corpus into k drive series (float and binned
+// views of the same rows).
+func (c *Case) splitSeries(k int) ([]detect.Series, []detect.BinnedSeries) {
+	if k > len(c.X) {
+		k = len(c.X)
+	}
+	size := (len(c.X) + k - 1) / k
+	var fs []detect.Series
+	var bs []detect.BinnedSeries
+	for lo := 0; lo < len(c.X); lo += size {
+		hi := min(lo+size, len(c.X))
+		hours := make([]int, hi-lo)
+		for i := range hours {
+			hours[i] = i * 8
+		}
+		fs = append(fs, detect.Series{X: c.X[lo:hi], Hours: hours})
+		bs = append(bs, detect.BinnedSeries{Codes: c.Codes[lo:hi], Hours: hours})
+	}
+	return fs, bs
+}

@@ -1,0 +1,47 @@
+package equiv
+
+import (
+	"testing"
+)
+
+// FuzzBinnedInferenceEquivalence drives the whole harness from fuzzed
+// corpus shapes: whatever matrix the fuzzer conjures, every scoring path
+// must stay bit-identical on the corpus. Spec fields are clamped into
+// their valid ranges so every input is a meaningful case rather than a
+// validation rejection.
+func FuzzBinnedInferenceEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(8), uint8(16), false, uint16(40), uint16(1500), uint16(500))
+	f.Add(int64(77), uint8(2), uint8(1), uint8(0), true, uint16(0), uint16(0), uint16(0))
+	f.Add(int64(3), uint8(6), uint8(255), uint8(12), false, uint16(600), uint16(300), uint16(300))
+	f.Add(int64(9), uint8(1), uint8(2), uint8(3), true, uint16(2000), uint16(0), uint16(4000))
+	f.Fuzz(func(t *testing.T, seed int64, features, maxBins, distinct uint8,
+		regression bool, nanPM, infPM, denPM uint16) {
+		spec := Spec{
+			Rows:             96,
+			Features:         1 + int(features)%8,
+			MaxBins:          1 + int(maxBins)%255,
+			Seed:             seed,
+			Regression:       regression,
+			DistinctValues:   int(distinct) % 48,
+			NaNFrac:          float64(nanPM%4001) / 10000, // ≤ 0.4
+			InfFrac:          float64(infPM%2001) / 10000, // ≤ 0.2
+			DenormalFrac:     float64(denPM%4001) / 10000, // ≤ 0.4
+			SingleBinFeature: seed%3 == 0,
+		}
+		c, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("generate %+v: %v", spec, err)
+		}
+		if err := CheckAll(c,
+			Pointer(), CompiledScalar(), CompiledBatch(0), CompiledBatch(33),
+			BinnedScalar(), BinnedBatch(0), BinnedBatch(33),
+		); err != nil {
+			t.Fatal(err)
+		}
+		if !spec.Regression {
+			if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

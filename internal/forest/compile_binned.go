@@ -1,0 +1,142 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"hddcart/internal/cart"
+	"hddcart/internal/dataset"
+)
+
+// Binned is the binned-code inference form of a Compiled forest: every
+// member tree remapped onto one dataset.BinnedMatrix's code space
+// (cart.CompiledTree.CompileBinned), scoring quantized uint8 rows. Per
+// sample the member predictions fold in tree order and divide by the
+// tree count exactly as the float paths do, so wherever the member
+// trees' binned scores match their float scores (see the BinnedTree
+// equivalence contract) the ensemble outputs are bit-identical too.
+// Binned is immutable and safe for concurrent use.
+type Binned struct {
+	// Trees are the binned ensemble members, in training order.
+	Trees []*cart.BinnedTree
+	// Kind records classification vs regression.
+	Kind cart.Kind
+	// Exact reports whether every member compiled exactly (no split
+	// threshold straddles a bin's value range).
+	Exact bool
+}
+
+// CompileBinned remaps every member tree onto bm's code space.
+func (c *Compiled) CompileBinned(bm *dataset.BinnedMatrix) (*Binned, error) {
+	b := &Binned{Trees: make([]*cart.BinnedTree, len(c.Trees)), Kind: c.Kind, Exact: true}
+	for i, t := range c.Trees {
+		bt, err := t.CompileBinned(bm)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		if !bt.Exact {
+			b.Exact = false
+		}
+		b.Trees[i] = bt
+	}
+	return b, nil
+}
+
+// Predict returns the mean of tree predictions for one quantized row,
+// folding in tree order like Compiled.Predict.
+func (b *Binned) Predict(codes []uint8) float64 {
+	if len(b.Trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range b.Trees {
+		sum += t.Predict(codes)
+	}
+	return sum / float64(len(b.Trees))
+}
+
+// PredictFailed reports whether the ensemble classifies the row as failed.
+func (b *Binned) PredictFailed(codes []uint8) bool { return b.Predict(codes) < 0 }
+
+// ProbFailed returns the fraction of trees voting failed.
+func (b *Binned) ProbFailed(codes []uint8) float64 {
+	if len(b.Trees) == 0 {
+		return math.NaN()
+	}
+	failed := 0
+	for _, t := range b.Trees {
+		if t.Predict(codes) < 0 {
+			failed++
+		}
+	}
+	return float64(failed) / float64(len(b.Trees))
+}
+
+// PredictBatch scores a block of quantized rows into dst and returns it
+// (nil or short dst allocates; a caller-provided len(xs) buffer keeps the
+// path allocation-free). dst[i] equals Predict(xs[i]) exactly.
+//
+//hddlint:noalloc
+func (b *Binned) PredictBatch(xs [][]uint8, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	if len(b.Trees) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	nt := float64(len(b.Trees))
+	for i := range dst {
+		dst[i] = 0
+	}
+	cart.AccumulateBatchBinned(b.Trees, xs, dst)
+	for i, v := range dst {
+		dst[i] = v / nt
+	}
+	return dst
+}
+
+// ProbFailedBatch fills dst with per-sample failed-vote fractions,
+// matching ProbFailed exactly.
+//
+//hddlint:noalloc
+func (b *Binned) ProbFailedBatch(xs [][]uint8, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		//hddlint:ignore hotalloc cold path: a nil or short dst allocates once; callers pass a len(xs) buffer to stay allocation-free
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	if len(b.Trees) == 0 {
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return dst
+	}
+	nt := float64(len(b.Trees))
+	tp := treeScores.Get().(*[]float64)
+	for lo := 0; lo < len(xs); lo += scoreBlock {
+		hi := min(lo+scoreBlock, len(xs))
+		block, acc := xs[lo:hi], dst[lo:hi]
+		tmp := (*tp)[:len(block)]
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, t := range b.Trees {
+			t.PredictBatch(block, tmp)
+			for i, v := range tmp {
+				if v < 0 {
+					acc[i]++
+				}
+			}
+		}
+		for i, v := range acc {
+			acc[i] = v / nt
+		}
+	}
+	treeScores.Put(tp)
+	return dst
+}

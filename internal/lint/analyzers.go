@@ -4,7 +4,7 @@ import "strings"
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand}
+	return []*Analyzer{BinCmp, FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand}
 }
 
 // determinismCritical lists the packages whose outputs must be

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BinCmp guards the binned inference kernels' core invariant: routing
+// decisions are made by comparing uint8 bin codes, never by comparing
+// floats. The whole point of CompileBinned is that every float threshold
+// was remapped to a cut code at compile time; a float comparison inside a
+// kernel marked //hddlint:binned means someone reintroduced the float
+// path (typically by "fixing" a kernel with a threshold compare), which
+// silently forfeits both the byte-compare speedup and the bit-for-bit
+// equivalence contract the harness enforces.
+//
+// Every comparison operator counts (<, <=, >, >=, ==, !=): ordered
+// comparisons are exactly the split predicates the remapping eliminates,
+// and equality tests on floats are floateq's territory anyway. Float
+// arithmetic is allowed — leaf payload accumulation sums float64 values;
+// only comparisons route.
+var BinCmp = &Analyzer{
+	Name:      "bincmp",
+	Doc:       "flags float comparisons inside //hddlint:binned kernels",
+	AppliesTo: inDeterminismCriticalPackage,
+	Run:       runBinCmp,
+}
+
+const binnedDirective = "//hddlint:binned"
+
+// hasBinnedDirective reports whether a function's doc comment marks it
+// as a binned-code kernel.
+func hasBinnedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == binnedDirective || strings.HasPrefix(c.Text, binnedDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// comparisonOps are the routing operators: any of these on a float
+// operand inside a binned kernel is a reintroduced threshold compare.
+var comparisonOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runBinCmp(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasBinnedDirective(fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || !comparisonOps[be.Op] {
+					return true
+				}
+				if !isFloatType(p.TypeOf(be.X)) && !isFloatType(p.TypeOf(be.Y)) {
+					return true
+				}
+				p.Reportf(be.Pos(), "float comparison (%s) in a //hddlint:binned kernel; binned routing compares uint8 cut codes — remap the threshold at compile time instead", be.Op)
+				return true
+			})
+		}
+	}
+}

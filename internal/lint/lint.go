@@ -12,12 +12,17 @@
 // go/ast + go/types because this module carries no third-party
 // dependencies.
 //
-// Two comment directives configure the suite:
+// Three comment directives configure the suite:
 //
 //	//hddlint:noalloc
 //	    on a function's doc comment marks it as a steady-state
 //	    allocation-free kernel; the hotalloc analyzer then flags every
 //	    allocating construct in its body.
+//
+//	//hddlint:binned
+//	    on a function's doc comment marks it as a binned-code inference
+//	    kernel; the bincmp analyzer then flags every float comparison in
+//	    its body (routing must compare uint8 cut codes).
 //
 //	//hddlint:ignore <analyzer> <reason>
 //	    on (or immediately above) a flagged line suppresses that

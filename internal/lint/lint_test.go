@@ -10,6 +10,7 @@ func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder, filepath.Join
 func TestSeededRandFixture(t *testing.T) { runFixture(t, SeededRand, filepath.Join("seededrand", "a")) }
 func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc, filepath.Join("hotalloc", "a")) }
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq, filepath.Join("floateq", "a")) }
+func TestBinCmpFixture(t *testing.T)     { runFixture(t, BinCmp, filepath.Join("bincmp", "a")) }
 func TestNakedGoFixture(t *testing.T)    { runFixture(t, NakedGo, filepath.Join("nakedgo", "a")) }
 
 // TestMalformedIgnoreDirectives checks that an ignore without an
@@ -36,7 +37,7 @@ func TestMalformedIgnoreDirectives(t *testing.T) {
 // TestAllAnalyzers pins the suite roster: the five analyzers the CI
 // lint job and the docs promise.
 func TestAllAnalyzers(t *testing.T) {
-	want := []string{"floateq", "hotalloc", "maporder", "nakedgo", "seededrand"}
+	want := []string{"bincmp", "floateq", "hotalloc", "maporder", "nakedgo", "seededrand"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,60 @@
+// Package a is the bincmp fixture: float comparisons inside and outside
+// //hddlint:binned kernels.
+package a
+
+// walkCodes is a well-behaved binned kernel: routing compares codes,
+// floats only accumulate.
+//
+//hddlint:binned
+func walkCodes(codes []uint8, cuts []uint8, payload []float64) float64 {
+	var sum float64
+	for i, c := range codes {
+		if c < cuts[i] {
+			sum += payload[i]
+		}
+	}
+	return sum
+}
+
+// walkFloats reintroduces threshold compares under the binned marker;
+// every routing operator is flagged.
+//
+//hddlint:binned
+func walkFloats(x []float64, thresholds []float64) int {
+	i := 0
+	for f, t := range thresholds {
+		if x[f] < t { // want `float comparison \(<\) in a //hddlint:binned kernel`
+			i++
+		}
+		if x[f] >= t { // want `float comparison \(>=\)`
+			i--
+		}
+		if x[f] == t { // want `float comparison \(==\)`
+			i++
+		}
+	}
+	return i
+}
+
+// mixedCompare catches the one-float-operand case (an int widened into a
+// float comparison is still a float comparison).
+//
+//hddlint:binned
+func mixedCompare(code uint8, t float64) bool {
+	return float64(code) > t // want `float comparison \(>\)`
+}
+
+// floatPath is NOT a binned kernel: float thresholds are its job, and
+// bincmp leaves it alone (floateq owns ==/!= here).
+func floatPath(x, t float64) bool {
+	return x < t
+}
+
+// ignored shows the audited escape hatch: a justified //hddlint:ignore
+// suppresses the finding.
+//
+//hddlint:binned
+func ignored(x, t float64) bool {
+	//hddlint:ignore bincmp fixture: documented exception
+	return x <= t
+}
