@@ -16,6 +16,7 @@ import (
 	"hddcart/internal/simulate"
 	"hddcart/internal/smart"
 	"hddcart/internal/storagesim"
+	"hddcart/internal/sweep"
 )
 
 // Core SMART and data types, re-exported for downstream users.
@@ -94,6 +95,29 @@ type (
 	// BinnedMeanThresholdDetector is the health-degree detector over
 	// quantized rows.
 	BinnedMeanThresholdDetector = detect.MeanThresholdBinned
+	// FleetCodes is the reusable backing QuantizeFleet fills, amortizing
+	// fleet quantization to zero steady-state allocations.
+	FleetCodes = detect.FleetCodes
+
+	// TiledMatrix is the feature-major tiled layout of a quantized code
+	// matrix: within each tile of TileRows rows one feature's codes are
+	// contiguous, so the sweep engine's partition kernels read straight
+	// byte runs.
+	TiledMatrix = dataset.TiledMatrix
+	// TiledPredictor scores row ranges of a TiledMatrix (binned trees,
+	// forests and committees qualify), bit-identical to PredictBatch.
+	TiledPredictor = sweep.TiledPredictor
+	// SweepConfig parameterizes a fleet sweep (window, threshold, shard
+	// and worker counts).
+	SweepConfig = sweep.Config
+	// SweepStats counts one shard's (or a whole sweep's) scanned drives,
+	// alarms, samples, NaN exclusions and steals.
+	SweepStats = sweep.Stats
+	// SweepResult is a fleet sweep's outcomes plus per-shard stats.
+	SweepResult = sweep.Result
+	// PreparedFleet is a sharded, tiled fleet ready to sweep — prepare
+	// once, run per model or threshold.
+	PreparedFleet = sweep.Fleet
 
 	// Result aggregates FDR/FAR/TIA over an evaluation.
 	Result = eval.Result
@@ -353,6 +377,45 @@ func ScanBinned(d BinnedDetector, s BinnedSeries, failHour int) Outcome {
 // worker count (as ScanBatch).
 func ScanBatchBinned(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) []Outcome {
 	return detect.ScanBatchBinned(d, series, failHours, workers)
+}
+
+// QuantizeFleet maps every drive's series onto a binned matrix's code
+// space through one contiguous backing, reusing fc across calls so the
+// steady state allocates nothing. Codes equal QuantizeSeries' exactly;
+// the returned series alias fc and are invalidated by the next call.
+func QuantizeFleet(bm *BinnedMatrix, series []Series, fc *FleetCodes) ([]BinnedSeries, error) {
+	return detect.QuantizeFleet(bm, series, fc)
+}
+
+// PrepareSweep shards and tiles a float-series fleet for sweeping:
+// quantization is paid here, once, however many times the fleet is
+// swept. shards = 0 uses the engine default.
+func PrepareSweep(bm *BinnedMatrix, series []Series, shards int) (*PreparedFleet, error) {
+	return sweep.Prepare(bm, series, shards)
+}
+
+// PrepareSweepBinned shards and tiles an already-quantized fleet.
+func PrepareSweepBinned(series []BinnedSeries, shards int) (*PreparedFleet, error) {
+	return sweep.PrepareBinned(series, shards)
+}
+
+// RunSweep sweeps a prepared fleet with a tiled model: every sample of
+// every drive is scored through the feature-major kernels, then each
+// drive's scores replay the paper's window sweep. Outcomes are identical
+// to ScanBatchBinned with the matching detector, for every worker and
+// shard count.
+func RunSweep(model TiledPredictor, fleet *PreparedFleet, failHours []int, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.Run(model, fleet, failHours, cfg)
+}
+
+// SweepFleet prepares and sweeps a float-series fleet in one call.
+func SweepFleet(model TiledPredictor, bm *BinnedMatrix, series []Series, failHours []int, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.SweepFleet(model, bm, series, failHours, cfg)
+}
+
+// SweepFleetBinned prepares and sweeps an already-quantized fleet.
+func SweepFleetBinned(model TiledPredictor, series []BinnedSeries, failHours []int, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.SweepFleetBinned(model, series, failHours, cfg)
 }
 
 // PersonalizedWindows derives per-drive deterioration windows from a

@@ -2,6 +2,7 @@ package hddcart
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -178,5 +179,73 @@ func TestDetectorConstructors(t *testing.T) {
 		if _, err := NewMeanThresholdDetector(c.model, c.voters, c.threshold); err == nil {
 			t.Errorf("mean-threshold: %s accepted", c.name)
 		}
+	}
+}
+
+// TestFleetSweepFacade drives the sweep surface end to end through the
+// facade: quantize the evaluation fleet with QuantizeFleet, sweep it
+// with SweepFleet, and require outcomes identical to the per-drive
+// binned scan — the invariant the sweep engine is built around.
+func TestFleetSweepFacade(t *testing.T) {
+	fleet, ds := buildSmallDataset(t, 8)
+	tree, err := TrainClassificationTree(ds, TreeParams{LossFA: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, _ := ds.XMatrix()
+	bm, err := BinFeatureMatrix(x, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := CompileModelBinned(tree, bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, ok := model.(TiledPredictor)
+	if !ok {
+		t.Fatalf("%T does not implement TiledPredictor", model)
+	}
+	var series []Series
+	var failHours []int
+	for _, d := range fleet.Drives() {
+		trace := fleet.Trace(d.Index)
+		series = append(series, ExtractSeries(CriticalFeatures(), trace, 0, len(trace)))
+		fh := -1
+		if d.Failed {
+			fh = d.FailHour
+		}
+		failHours = append(failHours, fh)
+	}
+	var fc FleetCodes
+	binned, err := QuantizeFleet(bm, series, &fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewBinnedVotingDetector(model, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScanBatchBinned(det, binned, failHours, 1)
+	res, err := SweepFleet(tiled, bm, series, failHours, SweepConfig{Voters: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Outcomes, want) {
+		t.Fatal("SweepFleet outcomes diverged from ScanBatchBinned")
+	}
+	if res.Total.Drives != int64(len(series)) {
+		t.Fatalf("sweep scanned %d drives, fleet has %d", res.Total.Drives, len(series))
+	}
+	// The prepared-fleet form must land on the same outcomes.
+	pf, err := PrepareSweepBinned(binned, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunSweep(tiled, pf, failHours, SweepConfig{Voters: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Outcomes, want) {
+		t.Fatal("RunSweep outcomes diverged from ScanBatchBinned")
 	}
 }

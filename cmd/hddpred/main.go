@@ -31,6 +31,7 @@ import (
 	"hddcart/internal/featsel"
 	"hddcart/internal/health"
 	"hddcart/internal/smart"
+	"hddcart/internal/sweep"
 	"hddcart/internal/trace"
 )
 
@@ -345,6 +346,8 @@ func cmdEvaluate(args []string) error {
 	periodEnd := fs.Int("period-end", 168, "good test window end hour")
 	seed := fs.Int64("seed", 1, "failed-drive split seed (must match training)")
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = all cores); results are identical for any value")
+	useSweep := fs.Bool("sweep", false, "scan through the sharded fleet-sweep engine (tree models): quantize once, score feature-major tiles")
+	shards := fs.Int("shards", 0, "sweep shard count (0 = engine default); outcomes are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -388,8 +391,17 @@ func cmdEvaluate(args []string) error {
 	}
 	// Drives scan on w goroutines; each outcome lands at its drive's own
 	// index, so the counts below are identical for every worker count.
+	var outcomes []detect.Outcome
+	if *useSweep {
+		outcomes, err = sweepEvaluate(mf, series, failHours, *voters, *threshold, *shards, w)
+		if err != nil {
+			return err
+		}
+	} else {
+		outcomes = detect.ScanBatch(det, series, failHours, w)
+	}
 	var c eval.Counter
-	for i, out := range detect.ScanBatch(det, series, failHours, w) {
+	for i, out := range outcomes {
 		if isFailed[i] {
 			c.AddFailed(out)
 		} else {
@@ -398,6 +410,47 @@ func cmdEvaluate(args []string) error {
 	}
 	fmt.Println(c.Result().String())
 	return nil
+}
+
+// sweepEvaluate scans the evaluation fleet through the sharded sweep
+// engine: the series' own rows are binned (255 bins, enough for every
+// split threshold the tree carries), the tree is remapped onto that code
+// space, and the whole fleet sweeps through the feature-major tiled
+// kernels. Scores are quantized where ScanBatch's are float, so
+// straddled thresholds may verdict individual samples differently; the
+// -sweep flag trades that for fleet-scale throughput.
+func sweepEvaluate(mf *modelFile, series []detect.Series, failHours []int,
+	voters int, threshold float64, shards, workers int) ([]detect.Outcome, error) {
+	if mf.Type != "ct" && mf.Type != "rt" {
+		return nil, fmt.Errorf("evaluate: -sweep needs a tree model, not %q", mf.Type)
+	}
+	var rows [][]float64
+	for i := range series {
+		rows = append(rows, series[i].X...)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("evaluate: -sweep found no samples to scan")
+	}
+	bm, err := dataset.BinMatrix(rows, dataset.MaxBinsLimit)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := mf.Tree.Compile().CompileBinned(bm)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sweep.Config{Voters: voters, Shards: shards, Workers: workers}
+	if mf.Type == "rt" {
+		cfg.Mean = true
+		cfg.Threshold = threshold
+	}
+	res, err := sweep.SweepFleet(bt, bm, series, failHours, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: sweep scanned %d drives (%d samples, %d shards): %d alarms, %d NaN-excluded, %d steals\n",
+		res.Total.Drives, res.Total.Samples, len(res.Shards), res.Total.Alarms, res.Total.NaNExcluded, res.Total.Steals)
+	return res.Outcomes, nil
 }
 
 func cmdPredict(args []string) error {

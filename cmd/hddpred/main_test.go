@@ -190,3 +190,29 @@ func TestBackblazeFormat(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+// TestEvaluateSweepFlag covers the -sweep path on both tree model kinds:
+// the sharded fleet-sweep engine must evaluate cleanly at several shard
+// counts, and non-tree models are rejected up front.
+func TestEvaluateSweepFlag(t *testing.T) {
+	data := writeFixture(t)
+	for _, kind := range []string{"ct", "rt"} {
+		model := filepath.Join(t.TempDir(), kind+".json")
+		if err := run([]string{"train", "-data", data, "-model", kind, "-o", model}); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []string{"0", "1", "4"} {
+			if err := run([]string{"evaluate", "-data", data, "-m", model, "-sweep", "-shards", shards, "-workers", "2"}); err != nil {
+				t.Errorf("%s -sweep -shards %s: %v", kind, shards, err)
+			}
+		}
+	}
+	ann := filepath.Join(t.TempDir(), "ann.json")
+	if err := run([]string{"train", "-data", data, "-model", "ann", "-o", ann, "-ann-epochs", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"evaluate", "-data", data, "-m", ann, "-sweep"})
+	if err == nil || !strings.Contains(err.Error(), "tree model") {
+		t.Errorf("ann -sweep: got %v, want tree-model error", err)
+	}
+}

@@ -2,6 +2,7 @@ package boost
 
 import (
 	"fmt"
+	"sync"
 
 	"hddcart/internal/cart"
 	"hddcart/internal/dataset"
@@ -78,4 +79,50 @@ func (b *Binned) PredictBatch(xs [][]uint8, dst []float64) []float64 {
 		dst[i] = b.Predict(codes)
 	}
 	return dst
+}
+
+// binnedTileScores pools the per-learner scratch PredictTiledRange folds
+// through, keyed to the caller's range length.
+var binnedTileScores = sync.Pool{New: func() any { return new([]float64) }}
+
+// PredictTiledRange scores rows [lo, hi) of a feature-major tiled code
+// matrix into dst[:hi-lo], bit-identical to Predict on each row: every
+// learner's alpha-weighted score and the alpha total fold in learner
+// order per sample. dst must hold at least hi-lo entries. This makes
+// Binned an internal/sweep TiledPredictor.
+//
+//hddlint:noalloc
+func (b *Binned) PredictTiledRange(tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
+	dst = dst[:hi-lo]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(dst) == 0 {
+		return
+	}
+	var total float64
+	tp := binnedTileScores.Get().(*[]float64)
+	if cap(*tp) < len(dst) {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows to the high-water range length once, then every Get reuses it
+		*tp = make([]float64, len(dst))
+	}
+	tmp := (*tp)[:len(dst)]
+	for j, t := range b.Trees {
+		t.PredictTiledRange(tm, lo, hi, tmp)
+		a := b.Alphas[j]
+		for i, v := range tmp {
+			dst[i] += a * v
+		}
+		total += a
+	}
+	binnedTileScores.Put(tp)
+	if exactZero(total) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= total
+	}
 }

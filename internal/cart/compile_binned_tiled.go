@@ -1,0 +1,362 @@
+package cart
+
+import (
+	"math"
+	"unsafe"
+
+	"hddcart/internal/dataset"
+)
+
+// Tiled fast path for the binned batch engine. A dataset.TiledMatrix
+// stores each tile of TileRows rows feature-major, so the code column a
+// partition kernel reads at a node is one straight byte run of at most
+// TileRows bytes — four cache lines — instead of a stride-NumFeatures
+// march across the block. Scoring a row range walks it tile chunk by
+// tile chunk (chunks never cross a tile boundary), running the same
+// segment-stack traversal as the flat path inside each chunk. Verdicts
+// are bit-identical to PredictBatch on the same rows; the internal/equiv
+// matrices pit all three layouts against each other.
+
+const tileRows = dataset.TileRows
+
+// PredictTiledRange scores rows [lo, hi) of a tiled code matrix into
+// dst[:hi-lo], so dst[i] equals Predict of row lo+i. dst must hold at
+// least hi-lo entries; the call is allocation-free in steady state. This
+// is the kernel internal/sweep work items run on.
+//
+//hddlint:noalloc
+func (bt *BinnedTree) PredictTiledRange(tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
+	bt.scoreTiledRange(tm, lo, hi, dst, bt.Value, false)
+}
+
+// ProbFailedTiledRange fills dst[:hi-lo] with per-row failed-leaf
+// probabilities over rows [lo, hi), matching ProbFailed exactly
+// (regression trees fill NaN, as the float paths do).
+//
+//hddlint:noalloc
+func (bt *BinnedTree) ProbFailedTiledRange(tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
+	if bt.Kind != Classification {
+		dst = dst[:hi-lo]
+		for i := range dst {
+			dst[i] = math.NaN()
+		}
+		return
+	}
+	bt.scoreTiledRange(tm, lo, hi, dst, bt.PFailed, false)
+}
+
+// scoreTiledRange drives the per-tile-chunk traversal. The bounds and
+// width checks up front are what make the unchecked byte loads in the
+// kernels safe: every address they form is basep + f·tileRows + k with
+// f < needLen ≤ NumFeatures and r0 + k < tileRows, which stays inside
+// the chunk's tile.
+//
+//hddlint:noalloc
+//hddlint:binned
+func (bt *BinnedTree) scoreTiledRange(tm *dataset.TiledMatrix, lo, hi int,
+	dst, payload []float64, add bool) {
+	if lo < 0 || lo > hi || hi > tm.NumRows {
+		panic("cart: tiled row range out of bounds")
+	}
+	if bt.needLen > tm.NumFeatures {
+		panic("cart: tree reads features beyond the tiled matrix width")
+	}
+	dst = dst[:hi-lo]
+	if lo == hi {
+		return
+	}
+	if bt.Feature[0] < 0 { // single-leaf tree
+		p := payload[0]
+		if add {
+			for i := range dst {
+				dst[i] += p
+			}
+		} else {
+			for i := range dst {
+				dst[i] = p
+			}
+		}
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.cur) < tileRows {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows to the tile height once, then every Get reuses it
+		sc.cur = make([]int32, tileRows)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
+		sc.next = make([]int32, tileRows)
+	}
+	nf := tm.NumFeatures
+	for a := lo; a < hi; {
+		t := a / tileRows
+		b := min(hi, (t+1)*tileRows)
+		n := b - a
+		basep := unsafe.Pointer(&tm.Data[t*tileRows*nf+(a-t*tileRows)])
+		cdst := dst[a-lo : b-lo]
+		if n < minPartitionBatch {
+			walkRangeTiled(bt.nodes, basep, n, cdst, payload, add)
+		} else {
+			l := partitionRootBinnedTiled(unsafe.Add(basep, uintptr(bt.Feature[0])*tileRows),
+				n, unsafe.Pointer(&sc.cur[0]), bt.Cut[0])
+			bt.runSegmentsTiled(sc, basep, cdst, payload, l, n, add)
+		}
+		a = b
+	}
+	batchScratchPool.Put(sc)
+}
+
+// AccumulateTiledRange accumulates every tree's prediction for rows
+// [lo, hi) onto dst[:hi-lo], in tree order per row — the tiled analogue
+// of AccumulateBatchBinned for ensemble scorers. All trees share one
+// pooled scratch per call.
+//
+//hddlint:noalloc
+//hddlint:binned
+func AccumulateTiledRange(trees []*BinnedTree, tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
+	if lo < 0 || lo > hi || hi > tm.NumRows {
+		panic("cart: tiled row range out of bounds")
+	}
+	dst = dst[:hi-lo]
+	if lo == hi || len(trees) == 0 {
+		return
+	}
+	need := 0
+	for _, t := range trees {
+		need = max(need, t.needLen)
+	}
+	if need > tm.NumFeatures {
+		panic("cart: tree reads features beyond the tiled matrix width")
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.cur) < tileRows {
+		//hddlint:ignore hotalloc cold path: pooled scratch grows to the tile height once, then every Get reuses it
+		sc.cur = make([]int32, tileRows)
+		//hddlint:ignore hotalloc cold path: pooled scratch grows once
+		sc.next = make([]int32, tileRows)
+	}
+	nf := tm.NumFeatures
+	for a := lo; a < hi; {
+		t := a / tileRows
+		b := min(hi, (t+1)*tileRows)
+		n := b - a
+		basep := unsafe.Pointer(&tm.Data[t*tileRows*nf+(a-t*tileRows)])
+		cdst := dst[a-lo : b-lo]
+		for _, tr := range trees {
+			if tr.Feature[0] < 0 { // single-leaf tree
+				p := tr.Value[0]
+				for i := range cdst {
+					cdst[i] += p
+				}
+				continue
+			}
+			if n < minPartitionBatch {
+				walkRangeTiled(tr.nodes, basep, n, cdst, tr.Value, true)
+				continue
+			}
+			l := partitionRootBinnedTiled(unsafe.Add(basep, uintptr(tr.Feature[0])*tileRows),
+				n, unsafe.Pointer(&sc.cur[0]), tr.Cut[0])
+			tr.runSegmentsTiled(sc, basep, cdst, tr.Value, l, n, true)
+		}
+		a = b
+	}
+	batchScratchPool.Put(sc)
+}
+
+// runSegmentsTiled is runSegments over one tile chunk: same segment
+// stack and ping-pong index buffers, with each node's feature column
+// located at basep + feature·tileRows and indexed directly by the
+// chunk-local sample index.
+//
+//hddlint:noalloc
+//hddlint:binned
+func (bt *BinnedTree) runSegmentsTiled(sc *batchScratch, basep unsafe.Pointer,
+	dst, payload []float64, rootLeft, n int, add bool) {
+	feat := bt.Feature
+	cut := bt.Cut
+	left, right := bt.Left, bt.Right
+	cur, next := sc.cur[:n], sc.next[:n]
+	stack := sc.stack[:0]
+	//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
+	stack = append(stack,
+		segment{node: right[0], lo: int32(rootLeft), hi: int32(n)},
+		segment{node: left[0], lo: 0, hi: int32(rootLeft)})
+	for len(stack) > 0 {
+		sg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if sg.lo == sg.hi {
+			continue
+		}
+		src, out := cur, next
+		if sg.flipped {
+			src, out = next, cur
+		}
+		node := sg.node
+		seg := src[sg.lo:sg.hi]
+		if feat[node] < 0 { // leaf: deliver the payload to every sample here
+			p := payload[node]
+			if add {
+				for _, idx := range seg {
+					dst[idx] += p
+				}
+			} else {
+				for _, idx := range seg {
+					dst[idx] = p
+				}
+			}
+			continue
+		}
+		colp := unsafe.Add(basep, uintptr(feat[node])*tileRows)
+		if ln := left[node]; feat[ln] < 0 && feat[ln+1] < 0 {
+			leafPairSegBinnedTiled(unsafe.Pointer(&src[sg.lo]), len(seg), colp, cut[node],
+				unsafe.Pointer(&dst[0]), unsafe.Pointer(&payload[ln]), add)
+			continue
+		}
+		if len(seg) < minSegPartition {
+			walkSegBinnedTiled(bt.nodes, seg, basep, dst, payload, node, add)
+			continue
+		}
+		nl := partitionSegBinnedTiled(unsafe.Pointer(&src[sg.lo]), unsafe.Pointer(&out[sg.lo]),
+			len(seg), colp, cut[node])
+		mid := sg.lo + int32(nl)
+		//hddlint:ignore hotalloc append targets pooled scratch that grows to the tree depth once, then stays within capacity
+		stack = append(stack,
+			segment{node: right[node], lo: mid, hi: sg.hi, flipped: !sg.flipped},
+			segment{node: left[node], lo: sg.lo, hi: mid, flipped: !sg.flipped})
+	}
+	sc.stack = stack[:0]
+}
+
+// partitionRootBinnedTiled splits the implicit chunk order 0..n-1 on
+// colp[k] < cut. The feature column is contiguous in the tiled layout,
+// so the loop is a straight byte scan — no stride, no gather.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func partitionRootBinnedTiled(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int {
+	l, m := 0, n-1
+	for k := 0; k < n; k++ {
+		cv := *(*uint8)(unsafe.Add(colp, uintptr(k)))
+		off, w := m, 0
+		if cv < cut {
+			off, w = 0, 1
+		}
+		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = int32(k)
+		l += w
+		m--
+	}
+	return l
+}
+
+// partitionSegBinnedTiled partitions an interior node's segment: sample
+// indices come from srcp and index the node's contiguous feature column.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func partitionSegBinnedTiled(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int {
+	l, m := 0, n-1
+	for k := 0; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
+		off, w := m, 0
+		if cv < cut {
+			off, w = 0, 1
+		}
+		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = idx
+		l += w
+		m--
+	}
+	return l
+}
+
+// leafPairSegBinnedTiled finishes a segment whose node has two leaf
+// children in one compare-and-deliver pass over the feature column.
+//
+//go:noinline
+//hddlint:noalloc
+//hddlint:binned
+func leafPairSegBinnedTiled(srcp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8,
+	dstp, payp unsafe.Pointer, add bool) {
+	if add {
+		for k := 0; k < n; k++ {
+			idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+			cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
+			off := uintptr(8)
+			if cv < cut {
+				off = 0
+			}
+			*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) += *(*float64)(unsafe.Add(payp, off))
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
+		off := uintptr(8)
+		if cv < cut {
+			off = 0
+		}
+		*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) = *(*float64)(unsafe.Add(payp, off))
+	}
+}
+
+// walkSegBinnedTiled finishes a small segment sample-major down the
+// packed subtree; a row's feature f lives at basep + f·tileRows + idx.
+//
+//hddlint:noalloc
+//hddlint:binned
+func walkSegBinnedTiled(nodes []binnedNode, seg []int32, basep unsafe.Pointer,
+	dst, payload []float64, node int32, add bool) {
+	for _, idx := range seg {
+		rowp := unsafe.Add(basep, uintptr(uint32(idx)))
+		i := node
+		for {
+			nd := &nodes[i]
+			f := nd.feature
+			if f < 0 {
+				break
+			}
+			if *(*uint8)(unsafe.Add(rowp, uintptr(f)*tileRows)) < nd.cut {
+				i = nd.left
+			} else {
+				i = nd.left + 1
+			}
+		}
+		if add {
+			dst[idx] += payload[i]
+		} else {
+			dst[idx] = payload[i]
+		}
+	}
+}
+
+// walkRangeTiled scores a whole small chunk (implicit order 0..n-1)
+// sample-major from the root — the tiled analogue of the small-batch
+// per-row walk in scoreBatch.
+//
+//hddlint:noalloc
+//hddlint:binned
+func walkRangeTiled(nodes []binnedNode, basep unsafe.Pointer, n int,
+	dst, payload []float64, add bool) {
+	for k := 0; k < n; k++ {
+		rowp := unsafe.Add(basep, uintptr(k))
+		i := int32(0)
+		for {
+			nd := &nodes[i]
+			f := nd.feature
+			if f < 0 {
+				break
+			}
+			if *(*uint8)(unsafe.Add(rowp, uintptr(f)*tileRows)) < nd.cut {
+				i = nd.left
+			} else {
+				i = nd.left + 1
+			}
+		}
+		if add {
+			dst[k] += payload[i]
+		} else {
+			dst[k] = payload[i]
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTiledMatrixRoundTrip checks the layout invariant both ways: codes
+// written row-major come back identical through Code and Row, at sizes
+// that leave the tail tile empty, exactly full, and partially full.
+func TestTiledMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, rows := range []int{0, 1, TileRows - 1, TileRows, TileRows + 1, 3*TileRows + 17} {
+		for _, nf := range []int{1, 3, 13} {
+			src := make([][]uint8, rows)
+			for i := range src {
+				src[i] = make([]uint8, nf)
+				for f := range src[i] {
+					src[i][f] = uint8(rng.Intn(256))
+				}
+			}
+			tm, err := TileCodes(src, nf)
+			if err != nil {
+				t.Fatalf("rows=%d nf=%d: %v", rows, nf, err)
+			}
+			if tm.NumRows != rows || tm.NumFeatures != nf {
+				t.Fatalf("rows=%d nf=%d: shape %d×%d", rows, nf, tm.NumRows, tm.NumFeatures)
+			}
+			wantTiles := (rows + TileRows - 1) / TileRows
+			if tm.Tiles() != wantTiles || len(tm.Data) != wantTiles*TileRows*nf {
+				t.Fatalf("rows=%d nf=%d: %d tiles, %d bytes", rows, nf, tm.Tiles(), len(tm.Data))
+			}
+			var buf []uint8
+			for i := range src {
+				buf = tm.Row(i, buf)
+				for f := range src[i] {
+					if tm.Code(i, f) != src[i][f] {
+						t.Fatalf("rows=%d nf=%d: Code(%d,%d) = %d, want %d",
+							rows, nf, i, f, tm.Code(i, f), src[i][f])
+					}
+					if buf[f] != src[i][f] {
+						t.Fatalf("rows=%d nf=%d: Row(%d)[%d] = %d, want %d",
+							rows, nf, i, f, buf[f], src[i][f])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTiledMatrixLayout pins the exact address formula: feature columns
+// are contiguous within a tile.
+func TestTiledMatrixLayout(t *testing.T) {
+	const nf = 4
+	tm, err := NewTiledMatrix(2*TileRows+5, nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]uint8, nf)
+	for i := 0; i < tm.NumRows; i++ {
+		for f := range row {
+			row[f] = uint8((i + f*7) % 251)
+		}
+		tm.SetRow(i, row)
+	}
+	for i := 0; i < tm.NumRows; i++ {
+		for f := 0; f < nf; f++ {
+			at := (i/TileRows)*TileRows*nf + f*TileRows + i%TileRows
+			if want := uint8((i + f*7) % 251); tm.Data[at] != want {
+				t.Fatalf("Data[%d] = %d, want %d (row %d feature %d)", at, tm.Data[at], want, i, f)
+			}
+		}
+	}
+	// The tail tile's padding beyond NumRows stays zero.
+	last := tm.Tiles() - 1
+	for f := 0; f < nf; f++ {
+		for r := tm.NumRows % TileRows; r < TileRows; r++ {
+			if at := last*TileRows*nf + f*TileRows + r; tm.Data[at] != 0 {
+				t.Fatalf("padding Data[%d] = %d, want 0", at, tm.Data[at])
+			}
+		}
+	}
+}
+
+func TestTiledMatrixErrors(t *testing.T) {
+	if _, err := NewTiledMatrix(-1, 2); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if _, err := NewTiledMatrix(2, 0); err == nil {
+		t.Error("zero features accepted")
+	}
+	if _, err := TileCodes([][]uint8{{1, 2}, {3}}, 2); err == nil {
+		t.Error("short row accepted")
+	}
+	// Surplus trailing codes are allowed and ignored.
+	tm, err := TileCodes([][]uint8{{1, 2, 9}, {3, 4, 9}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Code(1, 1) != 4 {
+		t.Fatalf("Code(1,1) = %d, want 4", tm.Code(1, 1))
+	}
+}

@@ -65,6 +65,14 @@ func scoreChunk(model Predictor, bp BatchPredictor, batched bool, xs [][]float64
 	}
 }
 
+// scanStride is how many consecutive drives a fleet-scan worker claims
+// per atomic bump. Outcome is 24 bytes, so 8 drives ≥ three full cache
+// lines of out: the claim counter is hit once per stride instead of once
+// per drive, and two workers never interleave writes within one line
+// (the only possibly-shared lines are the stride's edges). Results stay
+// index-addressed and therefore identical for every worker count.
+const scanStride = 8
+
 // ScanBatch runs a detector over many drives' series on up to workers
 // goroutines (≤ 1 scans serially). failHours[i] is drive i's failure
 // instant, -1 (or a nil slice) for good drives. Outcomes are written at
@@ -96,11 +104,14 @@ func ScanBatch(d Detector, series []Series, failHours []int, workers int) []Outc
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(series) {
+				lo := (int(next.Add(1)) - 1) * scanStride
+				if lo >= len(series) {
 					return
 				}
-				out[i] = Scan(d, series[i], failHour(i))
+				hi := min(lo+scanStride, len(series))
+				for i := lo; i < hi; i++ {
+					out[i] = Scan(d, series[i], failHour(i))
+				}
 			}
 		}()
 	}

@@ -243,7 +243,7 @@ func (m *MultiVotingBinned) ScanAll(s BinnedSeries, failHour int) []Outcome {
 	idxs := m.DetectAll(s.Codes)
 	out := make([]Outcome, len(idxs))
 	for i, idx := range idxs {
-		out[i] = alarmOutcome(s.Hours, idx, failHour)
+		out[i] = AlarmOutcome(s.Hours, idx, failHour)
 	}
 	return out
 }
@@ -273,9 +273,11 @@ func scoreIntoBinned(model BinnedBatchPredictor, xs [][]uint8, dst []float64, wo
 	wg.Wait()
 }
 
-// alarmOutcome converts an alarm index (-1 = none) into an Outcome
-// against the drive's sample hours and failure instant.
-func alarmOutcome(hours []int, idx, failHour int) Outcome {
+// AlarmOutcome converts an alarm index (-1 = none) into an Outcome
+// against the drive's sample hours and failure instant — the shared
+// conversion every scan path (ScanBinned, internal/sweep) applies so a
+// given alarm index always yields the same Outcome.
+func AlarmOutcome(hours []int, idx, failHour int) Outcome {
 	if idx < 0 {
 		return Outcome{LeadHours: -1}
 	}
@@ -289,7 +291,26 @@ func alarmOutcome(hours []int, idx, failHour int) Outcome {
 // ScanBinned runs a binned detector over a drive's quantized series.
 // failHour is the drive's failure instant, or -1 for good drives.
 func ScanBinned(d BinnedDetector, s BinnedSeries, failHour int) Outcome {
-	return alarmOutcome(s.Hours, d.Detect(s.Codes), failHour)
+	return AlarmOutcome(s.Hours, d.Detect(s.Codes), failHour)
+}
+
+// SweepDelegateMin is the fleet size at which ScanBatchBinned hands the
+// scan to a registered fleet sweeper (internal/sweep): below it, the
+// sharded engine's tiling and scheduling setup outweighs its locality
+// wins over the per-drive path.
+const SweepDelegateMin = 4096
+
+// fleetSweeper, when registered, may take over a whole ScanBatchBinned
+// call. It must return outcomes identical to the per-drive path or
+// (nil, false) to decline.
+var fleetSweeper func(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) ([]Outcome, bool)
+
+// RegisterFleetSweeper installs the fleet-sweep delegation hook.
+// internal/sweep registers itself from an init function, so importing it
+// (directly or through the root package) is what turns delegation on;
+// the hook must not be swapped while scans are running.
+func RegisterFleetSweeper(fn func(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) ([]Outcome, bool)) {
+	fleetSweeper = fn
 }
 
 // ScanBatchBinned runs a binned detector over many drives' series on up
@@ -297,8 +318,24 @@ func ScanBinned(d BinnedDetector, s BinnedSeries, failHour int) Outcome {
 // for float series: outcomes land at each drive's own index, so the
 // result is identical for every worker count. The detector must be
 // stateless across Detect calls, as VotingBinned and MeanThresholdBinned
-// are.
+// are. At SweepDelegateMin drives and above, a registered fleet sweeper
+// (internal/sweep) takes the scan through its tiled sharded engine; the
+// sweeper's outcomes are identical to the per-drive path, so delegation
+// is invisible apart from speed.
 func ScanBatchBinned(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) []Outcome {
+	if len(series) >= SweepDelegateMin && fleetSweeper != nil {
+		if out, ok := fleetSweeper(d, series, failHours, workers); ok {
+			return out
+		}
+	}
+	return ScanBatchBinnedDirect(d, series, failHours, workers)
+}
+
+// ScanBatchBinnedDirect is ScanBatchBinned without the fleet-sweep
+// delegation: always the per-drive chunked path. It exists so benchmarks
+// and equivalence tests can pin the sweep engine against the direct path
+// even when a sweeper is registered.
+func ScanBatchBinnedDirect(d BinnedDetector, series []BinnedSeries, failHours []int, workers int) []Outcome {
 	out := make([]Outcome, len(series))
 	failHour := func(i int) int {
 		if failHours == nil {
@@ -315,6 +352,10 @@ func ScanBatchBinned(d BinnedDetector, series []BinnedSeries, failHours []int, w
 	if workers > len(series) {
 		workers = len(series)
 	}
+	// Claim scanStride drives per atomic bump (see batch.go): one
+	// contended Add per stride instead of per drive, and a worker's
+	// adjacent out[i] writes cover whole cache lines instead of
+	// interleaving with other workers' drives.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -322,11 +363,14 @@ func ScanBatchBinned(d BinnedDetector, series []BinnedSeries, failHours []int, w
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(series) {
+				lo := (int(next.Add(1)) - 1) * scanStride
+				if lo >= len(series) {
 					return
 				}
-				out[i] = ScanBinned(d, series[i], failHour(i))
+				hi := min(lo+scanStride, len(series))
+				for i := lo; i < hi; i++ {
+					out[i] = ScanBinned(d, series[i], failHour(i))
+				}
 			}
 		}()
 	}

@@ -112,6 +112,46 @@ func (sw *meanSweep) feed(lo, hi int) int {
 	return -1
 }
 
+// VoteAlarm sweeps one fully scored series through the voting window
+// state machine and returns the alarm index in series coordinates (-1 =
+// no alarm) plus the number of NaN scores the sweep excluded before
+// stopping. It is exactly VotingBinned.Detect's sweep on a pre-scored
+// series — a single feed over the whole slice is bit-identical to the
+// detector's chunked feeds — exported so internal/sweep can score whole
+// work items through the tiled kernels and still alarm at the same
+// indexes. voters < 1 acts as 1, as the detectors do. scores is mutated:
+// valid samples are compacted toward the front as the sweep advances.
+func VoteAlarm(scores []float64, voters int, threshold float64) (idx, excluded int) {
+	if voters < 1 {
+		voters = 1
+	}
+	sw := votingSweep{scores: scores, threshold: threshold, n: voters}
+	idx = sw.feed(0, len(scores))
+	swept := len(scores)
+	if idx >= 0 {
+		swept = idx + 1
+	}
+	return idx, swept - sw.m
+}
+
+// MeanAlarm is VoteAlarm for the health-degree (mean-threshold) sweep:
+// alarm at the first index where the mean of the last voters valid
+// scores drops below threshold, bit-identical to
+// MeanThresholdBinned.Detect on the same scores. scores is mutated as in
+// VoteAlarm.
+func MeanAlarm(scores []float64, voters int, threshold float64) (idx, excluded int) {
+	if voters < 1 {
+		voters = 1
+	}
+	sw := meanSweep{scores: scores, threshold: threshold, n: voters}
+	idx = sw.feed(0, len(scores))
+	swept := len(scores)
+	if idx >= 0 {
+		swept = idx + 1
+	}
+	return idx, swept - sw.cnt
+}
+
 // multiVoteAlarms turns one fully scored series into per-window alarm
 // indexes: invalid scores are compacted away (remembering each valid
 // score's series index), failed votes become prefix counts, and every

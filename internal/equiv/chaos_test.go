@@ -89,11 +89,15 @@ func TestChaosCorpusBinnedEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := &Case{X: x, Y: y, Bins: bm, Codes: codes, Tree: tree, Compiled: ct, Binned: bt}
+	tm, err := dataset.TileCodes(codes, bm.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Case{X: x, Y: y, Bins: bm, Codes: codes, Tree: tree, Compiled: ct, Binned: bt, Tiled: tm}
 	if err := CheckAll(c, verdictPaths()...); err != nil {
 		t.Fatal(err)
 	}
-	if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb()); err != nil {
+	if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb(), TiledProb()); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("chaos corpus: %d rows, %d injectors, tree %d nodes, exact=%v",

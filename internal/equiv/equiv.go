@@ -73,6 +73,9 @@ type Case struct {
 	Tree     *cart.Tree
 	Compiled *cart.CompiledTree
 	Binned   *cart.BinnedTree
+	// Tiled is the corpus codes repacked feature-major
+	// (dataset.TileCodes), the layout the fleet-sweep kernels read.
+	Tiled *dataset.TiledMatrix
 }
 
 // Generate builds a Case from a Spec: draw the matrix, synthesize
@@ -157,8 +160,12 @@ func Generate(spec Spec) (*Case, error) {
 	if err != nil {
 		return nil, fmt.Errorf("equiv: quantize: %w", err)
 	}
+	tm, err := dataset.TileCodes(codes, bm.NumFeatures)
+	if err != nil {
+		return nil, fmt.Errorf("equiv: tile: %w", err)
+	}
 	return &Case{Spec: spec, X: x, Y: y, Bins: bm, Codes: codes,
-		Tree: tree, Compiled: ct, Binned: bt}, nil
+		Tree: tree, Compiled: ct, Binned: bt, Tiled: tm}, nil
 }
 
 // drawValue produces one finite-or-Inf corpus value with the Spec's
@@ -304,6 +311,29 @@ func BinnedBatchScattered(block int) Path {
 	}}
 }
 
+// TiledRange scores the feature-major tiled matrix through the sweep
+// kernels in row ranges of the given size (0 = one call). Range sizes
+// around dataset.TileRows exercise the tile-seam addressing.
+func TiledRange(block int) Path {
+	return Path{Name: fmt.Sprintf("tiled-range/%d", block), Score: func(c *Case, dst []float64) {
+		forEachBlock(len(c.Codes), block, func(lo, hi int) {
+			c.Binned.PredictTiledRange(c.Tiled, lo, hi, dst[lo:hi])
+		})
+	}}
+}
+
+// TiledWorkers shards tiled row ranges across goroutines — the sweep
+// engine's claim that outcomes are worker-count-invariant reduces to
+// this: every score lands at its own index whatever goroutine computed
+// it.
+func TiledWorkers(workers int) Path {
+	return Path{Name: fmt.Sprintf("tiled-workers/%d", workers), Score: func(c *Case, dst []float64) {
+		forEachShard(len(c.Codes), workers, func(lo, hi int) {
+			c.Binned.PredictTiledRange(c.Tiled, lo, hi, dst[lo:hi])
+		})
+	}}
+}
+
 // CompiledWorkers scores through the compiled batch engine with the rows
 // sharded across the given number of goroutines — every score lands at
 // its own index, so the result must be identical to any serial path.
@@ -346,6 +376,13 @@ func CompiledProb() Path {
 func BinnedProb() Path {
 	return Path{Name: "binned-prob", Score: func(c *Case, dst []float64) {
 		c.Binned.ProbFailedBatch(c.Codes, dst)
+	}}
+}
+
+// TiledProb is the tiled failed-probability surface.
+func TiledProb() Path {
+	return Path{Name: "tiled-prob", Score: func(c *Case, dst []float64) {
+		c.Binned.ProbFailedTiledRange(c.Tiled, 0, len(c.Codes), dst)
 	}}
 }
 

@@ -50,14 +50,21 @@ func verdictPaths() []Path {
 		BinnedBatchScattered(0),
 		BinnedBatchScattered(1024),
 		BinnedWorkers(4),
+		TiledRange(0),
+		TiledRange(1),
+		TiledRange(255),
+		TiledRange(256),
+		TiledRange(257),
+		TiledWorkers(4),
 	}
 }
 
 // TestEquivalenceMatrices is the tentpole assertion: over every
-// adversarial Spec, all seventeen scoring paths are bit-identical on the
-// corpus — including the scattered-row paths that force the binned
-// engine off its flat-matrix kernels. CI additionally stress-runs this
-// test with -count=5 -race.
+// adversarial Spec, all twenty-three scoring paths are bit-identical on
+// the corpus — including the scattered-row paths that force the binned
+// engine off its flat-matrix kernels and the feature-major tiled paths
+// the fleet-sweep engine runs on. CI additionally stress-runs this test
+// with -count=5 -race.
 func TestEquivalenceMatrices(t *testing.T) {
 	for _, tc := range specMatrix() {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,7 +76,7 @@ func TestEquivalenceMatrices(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !tc.spec.Regression {
-				if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb()); err != nil {
+				if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb(), TiledProb()); err != nil {
 					t.Fatal(err)
 				}
 			}

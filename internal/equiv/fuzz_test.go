@@ -14,10 +14,14 @@ func FuzzBinnedInferenceEquivalence(f *testing.F) {
 	f.Add(int64(77), uint8(2), uint8(1), uint8(0), true, uint16(0), uint16(0), uint16(0))
 	f.Add(int64(3), uint8(6), uint8(255), uint8(12), false, uint16(600), uint16(300), uint16(300))
 	f.Add(int64(9), uint8(1), uint8(2), uint8(3), true, uint16(2000), uint16(0), uint16(4000))
+	// Tile-seam seed: rows derive from nanPM, and 2500‰ lands the corpus
+	// at 346 rows — past dataset.TileRows, so the tiled paths cross a
+	// tile boundary.
+	f.Add(int64(12), uint8(5), uint8(32), uint8(24), false, uint16(2500), uint16(150), uint16(80))
 	f.Fuzz(func(t *testing.T, seed int64, features, maxBins, distinct uint8,
 		regression bool, nanPM, infPM, denPM uint16) {
 		spec := Spec{
-			Rows:             96,
+			Rows:             96 + int(nanPM%4001)/10, // 96..496: spans the 256-row tile seam
 			Features:         1 + int(features)%8,
 			MaxBins:          1 + int(maxBins)%255,
 			Seed:             seed,
@@ -35,11 +39,12 @@ func FuzzBinnedInferenceEquivalence(f *testing.F) {
 		if err := CheckAll(c,
 			Pointer(), CompiledScalar(), CompiledBatch(0), CompiledBatch(33),
 			BinnedScalar(), BinnedBatch(0), BinnedBatch(33),
+			TiledRange(0), TiledRange(33),
 		); err != nil {
 			t.Fatal(err)
 		}
 		if !spec.Regression {
-			if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb()); err != nil {
+			if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb(), TiledProb()); err != nil {
 				t.Fatal(err)
 			}
 		}

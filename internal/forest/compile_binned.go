@@ -100,6 +100,28 @@ func (b *Binned) PredictBatch(xs [][]uint8, dst []float64) []float64 {
 	return dst
 }
 
+// PredictTiledRange scores rows [lo, hi) of a feature-major tiled code
+// matrix into dst[:hi-lo], bit-identical to PredictBatch on the same
+// rows: member predictions accumulate in tree order per sample, then
+// divide by the tree count. dst must hold at least hi-lo entries. This
+// makes Binned an internal/sweep TiledPredictor.
+//
+//hddlint:noalloc
+func (b *Binned) PredictTiledRange(tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
+	dst = dst[:hi-lo]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(b.Trees) == 0 {
+		return
+	}
+	cart.AccumulateTiledRange(b.Trees, tm, lo, hi, dst)
+	nt := float64(len(b.Trees))
+	for i, v := range dst {
+		dst[i] = v / nt
+	}
+}
+
 // ProbFailedBatch fills dst with per-sample failed-vote fractions,
 // matching ProbFailed exactly.
 //

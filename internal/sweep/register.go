@@ -1,0 +1,51 @@
+package sweep
+
+import "hddcart/internal/detect"
+
+// Importing this package (directly, or through the root facade or
+// hddpred) turns on fleet-sweep delegation: detect.ScanBatchBinned hands
+// fleets of detect.SweepDelegateMin drives and more to the sharded tiled
+// engine whenever the detector is one this engine can replay exactly.
+func init() {
+	detect.RegisterFleetSweeper(scanDelegate)
+}
+
+// scanDelegate adapts a ScanBatchBinned call onto Run. It accepts only
+// the detectors whose window sweeps this engine replays bit-identically
+// (VotingBinned, MeanThresholdBinned) over models that expose the tiled
+// kernels; anything else declines and the caller takes the direct
+// per-drive path. Preparation or run errors also decline — delegation
+// must never fail a scan the direct path could serve.
+func scanDelegate(d detect.BinnedDetector, series []detect.BinnedSeries,
+	failHours []int, workers int) ([]detect.Outcome, bool) {
+	var model TiledPredictor
+	var cfg Config
+	switch det := d.(type) {
+	case *detect.VotingBinned:
+		tp, ok := det.Model.(TiledPredictor)
+		if !ok {
+			return nil, false
+		}
+		model = tp
+		cfg = Config{Voters: det.Voters, Threshold: det.Threshold}
+	case *detect.MeanThresholdBinned:
+		tp, ok := det.Model.(TiledPredictor)
+		if !ok {
+			return nil, false
+		}
+		model = tp
+		cfg = Config{Voters: det.Voters, Threshold: det.Threshold, Mean: true}
+	default:
+		return nil, false
+	}
+	cfg.Workers = max(1, workers)
+	fleet, err := PrepareBinned(series, 0)
+	if err != nil {
+		return nil, false
+	}
+	res, err := Run(model, fleet, failHours, cfg)
+	if err != nil {
+		return nil, false
+	}
+	return res.Outcomes, true
+}
