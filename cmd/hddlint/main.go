@@ -1,21 +1,33 @@
-// Command hddlint is hddcart's multichecker: it runs the internal/lint
-// analyzers — maporder, seededrand, hotalloc, floateq, nakedgo — over
-// every non-test package of the module and exits nonzero on any
-// finding. With -vet it also runs `go vet ./...` first, so one command
-// covers both the stock and the repo-specific invariants.
+// Command hddlint is hddcart's multichecker. A full run drives both
+// tiers of internal/lint: the AST/type analyzers (maporder, seededrand,
+// hotalloc, floateq, nakedgo, bincmp, shardmerge, atomicmix) and the
+// compiler-contract tier (escapecheck, bcecheck), which shells out to
+// `go build -gcflags='-m=2 -d=ssa/check_bce'` per annotated package and
+// fails on any heap escape in a //hddlint:noalloc function or retained
+// bounds check in a //hddlint:nobc function. Full runs also enforce
+// directive hygiene: an //hddlint:ignore that suppresses nothing is an
+// ignoredrift finding. The command exits nonzero on any finding.
 //
 // Usage:
 //
 //	go run ./cmd/hddlint ./...
 //	go run ./cmd/hddlint -vet ./...
+//	go run ./cmd/hddlint -fast ./...   # AST tier only: no compiler runs, no drift check
+//	go run ./cmd/hddlint -json ./...   # machine-readable findings (CI annotations)
 //
 // Package patterns are accepted for familiarity but the whole module is
 // always linted: the invariants are global properties (a nondeterministic
 // merge in any package breaks every downstream consumer), so there is no
 // meaningful partial run.
+//
+// Compiler diagnostics are cached under -diagcache (default: the user
+// cache dir) keyed on the toolchain, the flag string, and the content of
+// the package plus its module-internal dependency closure, so unchanged
+// packages cost no subprocess on re-runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,14 +37,39 @@ import (
 	"hddcart/internal/lint"
 )
 
+// pseudoAnalyzers are the checks that run outside the Analyzer roster: the
+// compiler-contract tier, directive hygiene, and malformed directives.
+var pseudoAnalyzers = []struct{ name, doc string }{
+	{lint.EscapeCheckName, "compiler tier: escape analysis proves a heap allocation in a //hddlint:noalloc function"},
+	{lint.BCECheckName, "compiler tier: a //hddlint:nobc function retains an IsInBounds/IsSliceInBounds check"},
+	{lint.IgnoreDriftName, "full runs: an //hddlint:ignore directive that suppresses zero diagnostics"},
+	{"directive", "an //hddlint:ignore missing its analyzer name or justification"},
+}
+
+// jsonDiag is the -json output form of one finding. File is root-relative
+// so CI annotations resolve against the checkout.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	vet := flag.Bool("vet", false, "also run `go vet ./...` before the hddlint analyzers")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	fast := flag.Bool("fast", false, "AST tier only: skip the compiler-contract tier and the ignoredrift check")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of vet-style lines")
+	diagCache := flag.String("diagcache", "", "directory caching compiler diagnostics (default: <user cache dir>/hddlint; empty string with the flag unset)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, p := range pseudoAnalyzers {
+			fmt.Printf("%-12s %s\n", p.name, p.doc)
 		}
 		return
 	}
@@ -57,12 +94,66 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.RunAll(pkgs, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+
+	diags := lint.Collect(pkgs, lint.All())
+	if !*fast {
+		compiler, err := lint.RunCompilerChecks(root, pkgs, cacheDir(*diagCache))
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, compiler...)
 	}
-	if len(diags) > 0 || failed {
+	// The drift check needs the full suite's suppression picture; a -fast
+	// run would miscount directives aimed at the compiler tier.
+	out := lint.Finish(pkgs, diags, !*fast)
+
+	if *jsonOut {
+		printJSON(root, out)
+	} else {
+		for _, d := range out {
+			fmt.Println(d)
+		}
+	}
+	if len(out) > 0 || failed {
 		os.Exit(1)
+	}
+}
+
+// cacheDir resolves the diagnostics cache directory: the flag value if
+// set, else a hddlint subdirectory of the user cache dir, else "" (which
+// disables caching) when no user cache dir exists.
+func cacheDir(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "hddlint")
+}
+
+// printJSON emits the findings as one JSON array with root-relative
+// paths (falling back to the absolute path outside the module).
+func printJSON(root string, diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonDiag{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

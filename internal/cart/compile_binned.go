@@ -358,7 +358,7 @@ func partitionRootBinned(xs [][]uint8, rows []unsafe.Pointer, outp unsafe.Pointe
 // indices come from srcp and the rows were gathered at the root.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionSegBinned(srcp, outp unsafe.Pointer, n int, rp unsafe.Pointer, foff uintptr, cut uint8) int {
 	l, m := 0, n-1
@@ -380,7 +380,7 @@ func partitionSegBinned(srcp, outp unsafe.Pointer, n int, rp unsafe.Pointer, fof
 // in one compare-and-deliver pass, as leafPairSeg does on float rows.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func leafPairSegBinned(srcp unsafe.Pointer, n int, rp unsafe.Pointer, foff uintptr, cut uint8,
 	dstp, payp unsafe.Pointer, add bool) {
@@ -445,6 +445,7 @@ func walkSegBinned(nodes []binnedNode, seg []int32, rp unsafe.Pointer,
 //
 //hddlint:noalloc
 func (bt *BinnedTree) PredictBatch(xs [][]uint8, dst []float64) []float64 {
+	//hddlint:ignore hotalloc nil/short-dst convenience path allocates by contract; a len(xs) dst is allocation-free
 	dst = sizeBuf(dst, len(xs))
 	bt.scoreBatch(xs, dst, bt.Value, false)
 	return dst
@@ -463,6 +464,7 @@ func (bt *BinnedTree) PredictBatchAdd(xs [][]uint8, dst []float64) {
 //
 //hddlint:noalloc
 func (bt *BinnedTree) ProbFailedBatch(xs [][]uint8, dst []float64) []float64 {
+	//hddlint:ignore hotalloc nil/short-dst convenience path allocates by contract; a len(xs) dst is allocation-free
 	dst = sizeBuf(dst, len(xs))
 	if bt.Kind != Classification {
 		for i := range dst {

@@ -103,7 +103,7 @@ func (bt *BinnedTree) runSegmentsFlat(sc *batchScratch, base unsafe.Pointer, str
 // byte load marching down the feature column at the matrix stride.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionRootBinnedFlat(base unsafe.Pointer, stride uintptr, n int,
 	outp unsafe.Pointer, foff uintptr, cut uint8) int {
@@ -127,7 +127,7 @@ func partitionRootBinnedFlat(base unsafe.Pointer, stride uintptr, n int,
 // computed as base + idx·stride instead of loaded from the gather table.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionSegBinnedFlat(srcp, outp unsafe.Pointer, n int,
 	base unsafe.Pointer, stride, foff uintptr, cut uint8) int {
@@ -150,7 +150,7 @@ func partitionSegBinnedFlat(srcp, outp unsafe.Pointer, n int,
 // children in one compare-and-deliver pass over the flat matrix.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func leafPairSegBinnedFlat(srcp unsafe.Pointer, n int, base unsafe.Pointer, stride, foff uintptr,
 	cut uint8, dstp, payp unsafe.Pointer, add bool) {

@@ -19,12 +19,22 @@ import (
 
 const tileRows = dataset.TileRows
 
+// Pre-boxed panic values for the guard checks below. panic's argument
+// is an interface, so panic("literal") boxes the string at the call
+// site — a heap allocation escape analysis reports inside the noalloc
+// kernels. Boxing once at package init keeps the guards free; recover
+// still sees the same string value.
+var (
+	errTiledRowRange  any = "cart: tiled row range out of bounds"
+	errTiledTreeWidth any = "cart: tree reads features beyond the tiled matrix width"
+)
+
 // PredictTiledRange scores rows [lo, hi) of a tiled code matrix into
 // dst[:hi-lo], so dst[i] equals Predict of row lo+i. dst must hold at
 // least hi-lo entries; the call is allocation-free in steady state. This
 // is the kernel internal/sweep work items run on.
 //
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 func (bt *BinnedTree) PredictTiledRange(tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
 	bt.scoreTiledRange(tm, lo, hi, dst, bt.Value, false)
 }
@@ -56,10 +66,10 @@ func (bt *BinnedTree) ProbFailedTiledRange(tm *dataset.TiledMatrix, lo, hi int, 
 func (bt *BinnedTree) scoreTiledRange(tm *dataset.TiledMatrix, lo, hi int,
 	dst, payload []float64, add bool) {
 	if lo < 0 || lo > hi || hi > tm.NumRows {
-		panic("cart: tiled row range out of bounds")
+		panic(errTiledRowRange)
 	}
 	if bt.needLen > tm.NumFeatures {
-		panic("cart: tree reads features beyond the tiled matrix width")
+		panic(errTiledTreeWidth)
 	}
 	dst = dst[:hi-lo]
 	if lo == hi {
@@ -113,7 +123,7 @@ func (bt *BinnedTree) scoreTiledRange(tm *dataset.TiledMatrix, lo, hi int,
 //hddlint:binned
 func AccumulateTiledRange(trees []*BinnedTree, tm *dataset.TiledMatrix, lo, hi int, dst []float64) {
 	if lo < 0 || lo > hi || hi > tm.NumRows {
-		panic("cart: tiled row range out of bounds")
+		panic(errTiledRowRange)
 	}
 	dst = dst[:hi-lo]
 	if lo == hi || len(trees) == 0 {
@@ -124,7 +134,7 @@ func AccumulateTiledRange(trees []*BinnedTree, tm *dataset.TiledMatrix, lo, hi i
 		need = max(need, t.needLen)
 	}
 	if need > tm.NumFeatures {
-		panic("cart: tree reads features beyond the tiled matrix width")
+		panic(errTiledTreeWidth)
 	}
 	sc := batchScratchPool.Get().(*batchScratch)
 	if cap(sc.cur) < tileRows {
@@ -230,7 +240,7 @@ func (bt *BinnedTree) runSegmentsTiled(sc *batchScratch, basep unsafe.Pointer,
 // so the loop is a straight byte scan — no stride, no gather.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionRootBinnedTiled(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int {
 	l, m := 0, n-1
@@ -251,7 +261,7 @@ func partitionRootBinnedTiled(colp unsafe.Pointer, n int, outp unsafe.Pointer, c
 // indices come from srcp and index the node's contiguous feature column.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionSegBinnedTiled(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int {
 	l, m := 0, n-1
@@ -273,7 +283,7 @@ func partitionSegBinnedTiled(srcp, outp unsafe.Pointer, n int, colp unsafe.Point
 // children in one compare-and-deliver pass over the feature column.
 //
 //go:noinline
-//hddlint:noalloc
+//hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func leafPairSegBinnedTiled(srcp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8,
 	dstp, payp unsafe.Pointer, add bool) {

@@ -193,6 +193,11 @@ func TestTiledRangeNoAlloc(t *testing.T) {
 		t.Fatalf("PredictTiledRange allocated %.0f times per run", allocs)
 	}
 	if allocs := testing.AllocsPerRun(20, func() {
+		bt.ProbFailedTiledRange(tm, 0, len(codes), dst)
+	}); allocs != 0 {
+		t.Fatalf("ProbFailedTiledRange allocated %.0f times per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
 		AccumulateTiledRange(trees, tm, 0, len(codes), dst)
 	}); allocs != 0 {
 		t.Fatalf("AccumulateTiledRange allocated %.0f times per run", allocs)

@@ -32,9 +32,11 @@ type FleetCodes struct {
 //hddlint:noalloc
 func QuantizeFleet(bm *dataset.BinnedMatrix, series []Series, fc *FleetCodes) ([]BinnedSeries, error) {
 	if bm == nil {
+		//hddlint:ignore hotalloc error path only
 		return nil, errors.New("detect: QuantizeFleet needs a binned matrix")
 	}
 	if fc == nil {
+		//hddlint:ignore hotalloc error path only
 		return nil, errors.New("detect: QuantizeFleet needs a FleetCodes to fill")
 	}
 	nf := bm.NumFeatures
@@ -42,9 +44,11 @@ func QuantizeFleet(bm *dataset.BinnedMatrix, series []Series, fc *FleetCodes) ([
 	for di := range series {
 		for ri, row := range series[di].X {
 			if len(row) < nf {
+				// The call must stay on the ignore's line: fmt.Errorf boxes its
+				// arguments where they appear, and escapecheck reports each box
+				// at the argument line.
 				//hddlint:ignore hotalloc error path only
-				return nil, fmt.Errorf("detect: QuantizeFleet drive %d row %d has %d of %d features",
-					di, ri, len(row), nf)
+				return nil, fmt.Errorf("detect: QuantizeFleet drive %d row %d has %d of %d features", di, ri, len(row), nf)
 			}
 		}
 		total += len(series[di].X)

@@ -4,7 +4,7 @@ import "strings"
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{BinCmp, FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand}
+	return []*Analyzer{AtomicMix, BinCmp, FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand, ShardMerge}
 }
 
 // determinismCritical lists the packages whose outputs must be
@@ -43,6 +43,23 @@ var seededRandPackages = map[string]bool{
 func inSeededRandPackage(path string) bool {
 	// Subpackages (none today) inherit the restriction.
 	for p := range seededRandPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// shardMergePackages is where the deterministic shard-merge discipline
+// applies: the fleet-sweep engine and the detectors' parallel scan
+// paths, whose results must be byte-identical for every worker count.
+var shardMergePackages = map[string]bool{
+	"hddcart/internal/sweep":  true,
+	"hddcart/internal/detect": true,
+}
+
+func inShardMergePackage(path string) bool {
+	for p := range shardMergePackages {
 		if path == p || strings.HasPrefix(path, p+"/") {
 			return true
 		}

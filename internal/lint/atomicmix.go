@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix guards the discipline the sweep engine's cursors rely on: a
+// variable or struct field that is ever accessed through sync/atomic
+// must be accessed through sync/atomic everywhere outside init-time
+// setup. A plain read racing an atomic.AddInt64 is not "slightly stale"
+// — it is undefined under the memory model, invisible to -race unless
+// the schedule cooperates, and the classic way a work-stealing cursor
+// or a shared stats counter goes wrong long after the code was written.
+//
+// Two access classes are tracked:
+//
+//   - function-style: any object whose address is passed to a
+//     sync/atomic function (atomic.AddInt64(&s.n, 1), atomic.LoadInt64,
+//     CompareAndSwap...). Every other mention of that object — plain
+//     read, plain write, address-taken alias — is flagged unless it
+//     occurs inside a func init().
+//   - typed: a value of type sync/atomic.Int64 & friends assigned or
+//     copied as a value (s.next = other.next). Method calls (.Load,
+//     .Add) are the sanctioned access; go vet's copylocks catches whole-
+//     struct copies, AtomicMix catches direct field re-assignment.
+//
+// Init-time setup (func init) is exempt: before any goroutine exists,
+// plain stores are the normal way to seed a counter.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain accesses to variables also accessed via sync/atomic (outside init)",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: collect every object whose address feeds a sync/atomic
+	// call, remembering one call position for the report.
+	atomicObjs := map[types.Object]bool{}
+	atomicArgs := map[ast.Expr]bool{} // the &obj expressions inside atomic calls (legal uses)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if obj := objectOf(p, un.X); obj != nil {
+					atomicObjs[obj] = true
+					atomicArgs[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: flag every other use of those objects outside init, and
+	// value-assignments of typed atomics.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+					expr := n.(ast.Expr)
+					if atomicArgs[expr] {
+						// The sanctioned &obj argument of an atomic call; do not
+						// descend into its field ident.
+						return false
+					}
+					obj := objectOf(p, expr)
+					if obj == nil || !atomicObjs[obj] {
+						return true
+					}
+					// A SelectorExpr's X ident resolves to the struct, not the
+					// field; only the selector itself matches the field object,
+					// so nested traversal will not double-report.
+					if inInit {
+						return false
+					}
+					p.Reportf(expr.Pos(), "%s is accessed via sync/atomic elsewhere but plainly here; "+
+						"mixed access is a data race the memory model leaves undefined — use the atomic API everywhere outside init", exprString(expr))
+					return false
+				case *ast.AssignStmt:
+					if inInit {
+						return true
+					}
+					for _, lhs := range e.Lhs {
+						if !isTypedAtomic(p.TypeOf(lhs)) {
+							continue
+						}
+						p.Reportf(lhs.Pos(), "assigning a %s as a value bypasses its atomicity; "+
+							"use its Store/Load methods (plain assignment races every concurrent method call)",
+							p.TypeOf(lhs).String())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a function from
+// sync/atomic (AddInt64, LoadUint32, CompareAndSwapPointer, ...).
+func isAtomicFuncCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[x].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's value types
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isTypedAtomic(types.Unalias(alias))
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// objectOf resolves an ident or selector to its variable/field object.
+func objectOf(p *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[x]; ok {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+		if obj, ok := p.Info.Defs[x]; ok {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			if _, isVar := sel.Obj().(*types.Var); isVar {
+				return sel.Obj()
+			}
+		}
+		// Package-qualified var (pkg.Var) resolves through Uses on Sel.
+		if obj, ok := p.Info.Uses[x.Sel]; ok {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// exprString renders a flagged expression compactly for the message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		var b strings.Builder
+		if id, ok := x.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+			b.WriteString(".")
+		}
+		b.WriteString(x.Sel.Name)
+		return b.String()
+	}
+	return "value"
+}

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"strings"
 )
 
 // BinCmp guards the binned inference kernels' core invariant: routing
@@ -27,20 +26,10 @@ var BinCmp = &Analyzer{
 	Run:       runBinCmp,
 }
 
-const binnedDirective = "//hddlint:binned"
-
 // hasBinnedDirective reports whether a function's doc comment marks it
 // as a binned-code kernel.
 func hasBinnedDirective(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if c.Text == binnedDirective || strings.HasPrefix(c.Text, binnedDirective+" ") {
-			return true
-		}
-	}
-	return false
+	return directiveSet(doc)[binnedDirective]
 }
 
 // comparisonOps are the routing operators: any of these on a float

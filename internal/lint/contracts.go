@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A contract is one function the compiler tier must prove something
+// about: noalloc functions must have no heap escapes in their body,
+// nobc functions no retained bounds checks. Contracts are located by
+// file and line range because the compiler's diagnostics are position-
+// tagged text, not AST nodes.
+type contract struct {
+	// name is the function's display name ("(*BinnedTree).scoreTiledRange",
+	// "partitionSegBinnedTiled", "var tiledWalk").
+	name string
+	// file is the absolute-or-loader-relative filename as the package's
+	// FileSet reports it.
+	file string
+	// startLine, endLine bound the function body, inclusive. Nested
+	// closures inside an annotated function inherit its contracts by
+	// construction — their bodies lie inside the range.
+	startLine, endLine int
+	noalloc, nobc      bool
+}
+
+// contractsOf returns every annotated function of a package, in file
+// order. Both declaration shapes carry directives:
+//
+//   - a FuncDecl (plain function, method, or generic function) with the
+//     marker in its doc comment;
+//   - a `var f = func(...) {...}` binding with the marker on the var
+//     declaration's doc comment (covering the ValueSpec doc for grouped
+//     declarations), since FuncLits have no doc of their own.
+func contractsOf(pkg *Package) []contract {
+	var out []contract
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				set := directiveSet(d.Doc)
+				if c, ok := contractFrom(pkg, set, funcDisplayName(d), d.Pos(), d.Body); ok {
+					out = append(out, c)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					set := directiveSet(d.Doc)
+					for k, v := range directiveSet(vs.Doc) {
+						if v {
+							if set == nil {
+								set = map[string]bool{}
+							}
+							set[k] = true
+						}
+					}
+					for i, val := range vs.Values {
+						fl, ok := val.(*ast.FuncLit)
+						if !ok || i >= len(vs.Names) {
+							continue
+						}
+						if c, ok := contractFrom(pkg, set, "var "+vs.Names[i].Name, fl.Pos(), fl.Body); ok {
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func contractFrom(pkg *Package, set map[string]bool, name string, declPos token.Pos, body *ast.BlockStmt) (contract, bool) {
+	noalloc := set[noallocDirective]
+	nobc := set[nobcDirective]
+	if !noalloc && !nobc {
+		return contract{}, false
+	}
+	// The range opens at the declaration, not the body brace, so
+	// parameter diagnostics on a multi-line signature ("moved to heap:
+	// x") still land inside it.
+	start := pkg.Fset.Position(declPos)
+	end := pkg.Fset.Position(body.End())
+	return contract{
+		name:      name,
+		file:      start.Filename,
+		startLine: start.Line,
+		endLine:   end.Line,
+		noalloc:   noalloc,
+		nobc:      nobc,
+	}, true
+}
+
+// funcDisplayName renders a FuncDecl the way diagnostics name it:
+// methods gain their receiver type, generic parameters are elided.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + recvTypeString(d.Recv.List[0].Type) + ")." + d.Name.Name
+}
+
+func recvTypeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvTypeString(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver: T[P]
+		return recvTypeString(t.X)
+	case *ast.IndexListExpr: // generic receiver: T[P1, P2]
+		return recvTypeString(t.X)
+	}
+	return "?"
+}

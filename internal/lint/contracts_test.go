@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestContractsOf covers the directive-parsing edge cases: two markers
+// sharing one comment line, nobc on methods (plain and generic
+// receivers), noalloc on generic functions, and directives riding var
+// declarations that bind closures — standalone and inside a grouped
+// declaration.
+func TestContractsOf(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "contracts", "a"), "contracts/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := contractsOf(pkg)
+	type flags struct{ noalloc, nobc bool }
+	want := map[string]flags{
+		"both":               {noalloc: true, nobc: true},
+		"(*walker).sumRange": {nobc: true},
+		"sumGeneric":         {noalloc: true},
+		"(box).first":        {nobc: true},
+		"var closure":        {nobc: true},
+		"var grouped":        {noalloc: true},
+	}
+	byName := map[string]contract{}
+	for _, c := range got {
+		byName[c.name] = c
+	}
+	if len(got) != len(want) {
+		t.Errorf("contractsOf returned %d contracts, want %d: %+v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		c, ok := byName[name]
+		if !ok {
+			t.Errorf("missing contract %q", name)
+			continue
+		}
+		if c.noalloc != w.noalloc || c.nobc != w.nobc {
+			t.Errorf("%s: noalloc=%v nobc=%v, want noalloc=%v nobc=%v", name, c.noalloc, c.nobc, w.noalloc, w.nobc)
+		}
+		if c.startLine <= 0 || c.endLine < c.startLine {
+			t.Errorf("%s: degenerate line range [%d, %d]", name, c.startLine, c.endLine)
+		}
+		if filepath.Base(c.file) != "a.go" {
+			t.Errorf("%s: file = %s, want a.go", name, c.file)
+		}
+	}
+	for _, absent := range []string{"plain", "var unmarked"} {
+		if _, ok := byName[absent]; ok {
+			t.Errorf("%s has no directives but produced a contract", absent)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tier A of the suite: instead of approximating the optimizer with
+// syntax rules, escapecheck and bcecheck ask the optimizer itself. One
+// `go build -gcflags='-m=2 -d=ssa/check_bce'` run per annotated package
+// makes the compiler print every escape-analysis decision and every
+// retained bounds check with file:line:col positions; the checker
+// parses that stream and fails the lint run when a diagnostic lands
+// inside a contracted function:
+//
+//   - escapecheck: a //hddlint:noalloc function contains a construct the
+//     compiler proved heap-allocating ("escapes to heap", "moved to
+//     heap"). This catches what the hotalloc analyzer cannot see —
+//     allocations introduced by inlining, interface boxing the type
+//     checker misses, fmt internals, implicit conversions.
+//   - bcecheck: a //hddlint:nobc function retains an IsInBounds or
+//     IsSliceInBounds check after the prove pass. The unsafe partition
+//     kernels and hand-elided walks owe double-digit percentages of
+//     their throughput to dead bounds checks (the PR 6 leaf-walk fix was
+//     ~12%); bcecheck turns each hand elision into a machine-checked
+//     contract instead of a comment.
+//
+// Runs are cached on a content hash of the package and its module-
+// internal dependency closure (escape analysis is cross-package via
+// inlining, so a dependency edit can change a kernel's verdict), plus
+// the toolchain version and flag string. The Go build cache replays
+// compiler output on unchanged rebuilds, so even cache misses after a
+// no-op touch are cheap; the hddlint cache saves the subprocess spawn
+// and the parse entirely.
+
+// Pseudo-analyzer names for the compiler-contract tier and the
+// directive-hygiene check; they appear in diagnostics and are valid
+// //hddlint:ignore targets.
+const (
+	EscapeCheckName = "escapecheck"
+	BCECheckName    = "bcecheck"
+	IgnoreDriftName = "ignoredrift"
+)
+
+// compilerGcflags is the exact flag string handed to the compiler. It is
+// part of the cache key: changing the diagnostics changes the parse.
+const compilerGcflags = "-m=2 -d=ssa/check_bce"
+
+// compilerDiag is one parsed, kept compiler diagnostic (cache JSON form).
+type compilerDiag struct {
+	// File is the path as the compiler printed it, relative to the module
+	// root the build ran in.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// BCE marks a retained bounds check; otherwise the diagnostic is a
+	// heap escape.
+	BCE bool   `json:"bce,omitempty"`
+	Msg string `json:"msg"`
+}
+
+// RunCompilerChecks runs the compiler-contract tier over every package
+// that declares at least one //hddlint:noalloc or //hddlint:nobc
+// function and returns the raw escapecheck/bcecheck findings, unfiltered
+// (feed them to Finish alongside the analyzer diagnostics so site
+// ignores and the drift check apply uniformly). root is the directory
+// holding the module's go.mod; cacheDir caches parsed compiler output
+// keyed on package content ("" disables caching).
+func RunCompilerChecks(root string, pkgs []*Package, cacheDir string) ([]Diagnostic, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("lint: creating diagnostics cache: %w", err)
+		}
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		contracts := contractsOf(pkg)
+		if len(contracts) == 0 {
+			continue
+		}
+		diags, err := compilerDiagsFor(absRoot, pkg, byPath, cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matchContracts(absRoot, contracts, diags)...)
+	}
+	return out, nil
+}
+
+// compilerDiagsFor returns the package's kept compiler diagnostics,
+// from cache when the content hash matches, else from a fresh build.
+func compilerDiagsFor(absRoot string, pkg *Package, byPath map[string]*Package, cacheDir string) ([]compilerDiag, error) {
+	key, err := packageHash(absRoot, pkg, byPath)
+	if err != nil {
+		return nil, err
+	}
+	var cacheFile string
+	if cacheDir != "" {
+		cacheFile = filepath.Join(cacheDir, key+".json")
+		if data, err := os.ReadFile(cacheFile); err == nil {
+			var diags []compilerDiag
+			if json.Unmarshal(data, &diags) == nil {
+				return diags, nil
+			}
+			// Corrupt cache entry: fall through to a fresh build.
+		}
+	}
+	diags, err := buildAndParse(absRoot, pkg)
+	if err != nil {
+		return nil, err
+	}
+	if cacheFile != "" {
+		if data, err := json.Marshal(diags); err == nil {
+			// Best-effort: a failed write only costs the next run a rebuild.
+			tmp := cacheFile + ".tmp"
+			if os.WriteFile(tmp, data, 0o644) == nil {
+				os.Rename(tmp, cacheFile)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// buildAndParse runs the diagnostic build for one package and parses the
+// compiler's stderr into kept diagnostics.
+func buildAndParse(absRoot string, pkg *Package) ([]compilerDiag, error) {
+	rel, err := filepath.Rel(absRoot, pkg.Dir)
+	if err != nil {
+		abs, aerr := filepath.Abs(pkg.Dir)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if rel, err = filepath.Rel(absRoot, abs); err != nil {
+			return nil, err
+		}
+	}
+	pattern := "./" + filepath.ToSlash(rel)
+	cmd := exec.Command("go", "build", "-gcflags="+compilerGcflags, pattern)
+	cmd.Dir = absRoot
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: diagnostic build of %s failed: %v\n%s", pkg.Path, err, outBytes)
+	}
+	return parseCompilerOutput(string(outBytes)), nil
+}
+
+// parseCompilerOutput keeps the escape and bounds-check lines of a
+// `-m=2 -d=ssa/check_bce` build, deduplicated (escape analysis prints
+// each decision twice, once with the flow explanation).
+func parseCompilerOutput(out string) []compilerDiag {
+	var diags []compilerDiag
+	seen := map[compilerDiag]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, ok := parseDiagLine(line)
+		if !ok || seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// parseDiagLine splits one "file.go:line:col: message" line and keeps it
+// if the message is an escape or bounds-check diagnostic.
+func parseDiagLine(line string) (compilerDiag, bool) {
+	rest := line
+	file, rest, ok := strings.Cut(rest, ":")
+	if !ok || !strings.HasSuffix(file, ".go") {
+		return compilerDiag{}, false
+	}
+	lineStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return compilerDiag{}, false
+	}
+	colStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return compilerDiag{}, false
+	}
+	ln, err := strconv.Atoi(lineStr)
+	if err != nil {
+		return compilerDiag{}, false
+	}
+	col, err := strconv.Atoi(colStr)
+	if err != nil {
+		return compilerDiag{}, false
+	}
+	msg := strings.TrimPrefix(rest, " ")
+	if strings.HasPrefix(msg, " ") {
+		// Indented flow-explanation continuation ("  flow: ...", "  from
+		// ..."): detail for a decision already kept above.
+		return compilerDiag{}, false
+	}
+	d := compilerDiag{File: file, Line: ln, Col: col}
+	switch {
+	case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+		d.BCE = true
+		d.Msg = msg
+	case strings.HasSuffix(msg, "escapes to heap") || strings.HasSuffix(msg, "escapes to heap:"):
+		d.Msg = strings.TrimSuffix(msg, ":")
+	case strings.HasPrefix(msg, "moved to heap:"):
+		d.Msg = msg
+	default:
+		return compilerDiag{}, false
+	}
+	return d, true
+}
+
+// matchContracts intersects compiler diagnostics with the annotated
+// function ranges and renders the violations.
+func matchContracts(absRoot string, contracts []contract, diags []compilerDiag) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		file := d.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absRoot, file)
+		}
+		for _, c := range contracts {
+			cfile := c.file
+			if !filepath.IsAbs(cfile) {
+				// The loader may have been rooted at a relative path; anchor
+				// the comparison at the same module root the build used.
+				if abs, err := filepath.Abs(cfile); err == nil {
+					cfile = abs
+				}
+			}
+			if cfile != file || d.Line < c.startLine || d.Line > c.endLine {
+				continue
+			}
+			pos := diagPosition(file, d.Line, d.Col)
+			if d.BCE {
+				if !c.nobc {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      pos,
+					Analyzer: BCECheckName,
+					Message: fmt.Sprintf("%s is //hddlint:nobc but the compiler retains a bounds check here (%s); "+
+						"restructure the index so the prove pass can kill it, or justify the site with //hddlint:ignore bcecheck <reason>",
+						c.name, strings.TrimPrefix(d.Msg, "Found ")),
+				})
+			} else {
+				if !c.noalloc {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      pos,
+					Analyzer: EscapeCheckName,
+					Message: fmt.Sprintf("%s is //hddlint:noalloc but escape analysis proves a heap allocation here (%s); "+
+						"hoist it to setup, pool it, or justify the site with //hddlint:ignore hotalloc <reason>",
+						c.name, d.Msg),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// diagPosition builds a token.Position directly (compiler diagnostics
+// arrive as text, not through a FileSet).
+func diagPosition(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// packageHash keys one package's cached diagnostics: toolchain version,
+// flag string, and the content of every source file of the package and
+// its module-internal dependency closure (cross-package inlining means a
+// dependency edit can change this package's escape verdicts).
+func packageHash(absRoot string, pkg *Package, byPath map[string]*Package) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", runtime.Version(), compilerGcflags, pkg.Path)
+	closure := map[string]*Package{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if closure[p.Path] != nil {
+			return
+		}
+		closure[p.Path] = p
+		for _, imp := range p.Types.Imports() {
+			if dep := byPath[imp.Path()]; dep != nil {
+				visit(dep)
+			}
+		}
+	}
+	visit(pkg)
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		dir := closure[p].Dir
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, e := range ents {
+			if !isSourceFile(e.Name()) {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "%s/%s %d\n", p, e.Name(), len(data))
+			h.Write(data)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCompilerContractTier exercises escapecheck/bcecheck end-to-end
+// against the deliberately-violating fixture module: a real `go build
+// -gcflags='-m=2 -d=ssa/check_bce'` run, parsed and intersected with the
+// annotated functions.
+//
+//   - leak (noalloc) returns &local    → escapecheck at its body
+//   - get (nobc) keeps an IsInBounds   → bcecheck, position-accurate
+//   - sum (noalloc+nobc) is clean      → silent
+//   - pick's retained check            → justified by //hddlint:ignore bcecheck
+//   - box's interface boxing           → justified by the hotalloc-named ignore
+//     (escapecheck honors hotalloc site ignores)
+func TestCompilerContractTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "mod_contracts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := t.TempDir()
+	raw, err := RunCompilerChecks(root, pkgs, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Finish(pkgs, raw, true)
+
+	var escapeLines, bceLines []int
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "kernels.go" {
+			t.Errorf("diagnostic outside the fixture: %s", d)
+			continue
+		}
+		switch d.Analyzer {
+		case EscapeCheckName:
+			escapeLines = append(escapeLines, d.Pos.Line)
+			if !strings.Contains(d.Message, "leak is //hddlint:noalloc") {
+				t.Errorf("escapecheck message does not name the contract: %s", d.Message)
+			}
+		case BCECheckName:
+			bceLines = append(bceLines, d.Pos.Line)
+			if !strings.Contains(d.Message, "get is //hddlint:nobc") {
+				t.Errorf("bcecheck message does not name the contract: %s", d.Message)
+			}
+		case IgnoreDriftName:
+			t.Errorf("both fixture ignores suppress live findings; drift reported %s", d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	// leak's body: `x := 42` at line 12 draws both "x escapes to heap"
+	// and "moved to heap: x".
+	for _, ln := range escapeLines {
+		if ln != 12 {
+			t.Errorf("escapecheck at line %d, want only line 12 (leak's body)", ln)
+		}
+	}
+	if len(escapeLines) == 0 {
+		t.Error("no escapecheck finding for leak")
+	}
+	// get's unguarded load is at line 21; pick's line-41 check is
+	// suppressed by its ignore.
+	if want := []int{21}; !reflect.DeepEqual(bceLines, want) {
+		t.Errorf("bcecheck lines = %v, want %v", bceLines, want)
+	}
+
+	// The run populated the diagnostics cache, and a second run served
+	// from it reproduces the findings exactly.
+	ents, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".json") {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Error("compiler run cached nothing")
+	}
+	again, err := RunCompilerChecks(root, pkgs, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raw, again) {
+		t.Errorf("cached rerun diverged:\nfirst: %v\nsecond: %v", raw, again)
+	}
+}
+
+// TestParseCompilerOutput pins the parser against the exact shapes the
+// compiler emits: kept escape and bounds-check lines, stripped flow
+// continuations (same position prefix, indented message), ignored
+// headers and non-diagnostic chatter.
+func TestParseCompilerOutput(t *testing.T) {
+	out := strings.Join([]string{
+		"# contractfixture/kernels",
+		"kernels/kernels.go:12:2: x escapes to heap:",
+		"kernels/kernels.go:12:2:   flow: ~r0 = &x:",
+		"kernels/kernels.go:12:2:     from &x (address-of) at kernels/kernels.go:13:9",
+		"kernels/kernels.go:12:2: moved to heap: x",
+		"kernels/kernels.go:20:10: xs does not escape",
+		"kernels/kernels.go:50:9: v escapes to heap:",
+		"kernels/kernels.go:50:9: v escapes to heap",
+		"kernels/kernels.go:21:11: Found IsInBounds",
+		"kernels/kernels.go:30:7: Found IsSliceInBounds",
+		"kernels/kernels.go:11:6: can inline leak with cost 12",
+		"",
+	}, "\n")
+	got := parseCompilerOutput(out)
+	want := []compilerDiag{
+		{File: "kernels/kernels.go", Line: 12, Col: 2, Msg: "x escapes to heap"},
+		{File: "kernels/kernels.go", Line: 12, Col: 2, Msg: "moved to heap: x"},
+		{File: "kernels/kernels.go", Line: 50, Col: 9, Msg: "v escapes to heap"},
+		{File: "kernels/kernels.go", Line: 21, Col: 11, BCE: true, Msg: "Found IsInBounds"},
+		{File: "kernels/kernels.go", Line: 30, Col: 7, BCE: true, Msg: "Found IsSliceInBounds"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseCompilerOutput:\ngot  %+v\nwant %+v", got, want)
+	}
+}

@@ -12,12 +12,32 @@
 // go/ast + go/types because this module carries no third-party
 // dependencies.
 //
-// Three comment directives configure the suite:
+// Two tiers run over the module. Tier B is the AST/type analyzers in
+// this package (maporder, seededrand, hotalloc, floateq, nakedgo,
+// bincmp, shardmerge, atomicmix). Tier A — escapecheck and bcecheck in
+// gcflags.go — shells out to the compiler itself (`go build -gcflags
+// '-m=2 -d=ssa/check_bce'`) and turns its position-tagged escape and
+// bounds-check diagnostics into findings against the annotated kernels,
+// so the zero-alloc and bounds-check-elided contracts are proven by the
+// same optimizer that compiles the release binary, not approximated by
+// syntax.
+//
+// Comment directives configure the suite (several may share one comment
+// line, e.g. `//hddlint:noalloc //hddlint:nobc`):
 //
 //	//hddlint:noalloc
 //	    on a function's doc comment marks it as a steady-state
-//	    allocation-free kernel; the hotalloc analyzer then flags every
-//	    allocating construct in its body.
+//	    allocation-free kernel; the hotalloc analyzer flags every
+//	    allocating construct in its body, and the escapecheck tier
+//	    fails the lint run if the compiler's escape analysis proves a
+//	    heap allocation inside it.
+//
+//	//hddlint:nobc
+//	    on a function's doc comment marks it as a bounds-check-free
+//	    kernel: the bcecheck tier fails the lint run if the compiler
+//	    retains any IsInBounds/IsSliceInBounds check in its body. Use it
+//	    on the unsafe partition kernels and hand-elided walks whose
+//	    throughput depends on checks staying dead.
 //
 //	//hddlint:binned
 //	    on a function's doc comment marks it as a binned-code inference
@@ -27,7 +47,12 @@
 //	//hddlint:ignore <analyzer> <reason>
 //	    on (or immediately above) a flagged line suppresses that
 //	    analyzer's diagnostics for the line. The reason is mandatory:
-//	    an ignore without one is itself reported.
+//	    an ignore without one is itself reported. An ignore that
+//	    suppresses zero diagnostics in a full-suite run is reported by
+//	    the ignoredrift pseudo-analyzer, so stale justifications cannot
+//	    rot in place. Ignores named hotalloc also cover escapecheck
+//	    findings on the same line: a justified cold-path allocation is
+//	    equally justified as the heap escape it implies.
 package lint
 
 import (
@@ -90,13 +115,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// RunAll is the driver entry point: it applies every analyzer to every
-// package (honoring the package filters), filters the results through
-// each file's //hddlint:ignore directives, and returns the surviving
-// diagnostics sorted by position. Malformed ignore directives (missing
-// analyzer name or reason) are reported as findings of the pseudo
-// analyzer "directive".
-func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Collect applies every analyzer to every package (honoring the package
+// filters) and returns the raw findings, unfiltered and unsorted. Pair
+// it with Finish; RunAll does both for callers without compiler-tier
+// diagnostics to merge in.
+func Collect(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -115,19 +138,38 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	return diags
+}
+
+// Finish filters raw diagnostics (from Collect, RunCompilerChecks, or
+// both appended together) through every //hddlint:ignore directive of
+// the packages and returns the survivors sorted by position. Malformed
+// directives (missing analyzer name or reason) are reported as findings
+// of the pseudo-analyzer "directive".
+//
+// With driftCheck set, every well-formed ignore directive that
+// suppressed zero diagnostics is reported by the pseudo-analyzer
+// "ignoredrift": an ignore earns its place by suppressing a live
+// finding, and one that no longer does is a stale justification hiding
+// whatever the next real finding on that line will be. Only enable the
+// check on full-suite runs (all analyzers plus the compiler tier);
+// partial runs would miscount directives aimed at the tiers not run.
+func Finish(pkgs []*Package, diags []Diagnostic, driftCheck bool) []Diagnostic {
 	ig := ignoreIndex{}
 	for _, pkg := range pkgs {
-		pkgIg, bad := collectIgnores(pkg)
+		bad := ig.collect(pkg)
 		diags = append(diags, bad...)
-		for k, v := range pkgIg {
-			ig[k] = v
-		}
 	}
-	out := diags[:0]
+	// Filter into a fresh slice: callers keep their raw findings (the
+	// driver reuses them for -json output and tests compare reruns).
+	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
 		if !ig.suppresses(d) {
 			out = append(out, d)
 		}
+	}
+	if driftCheck {
+		out = append(out, ig.drift()...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -145,6 +187,14 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
+// RunAll is the analyzer-only driver entry point: Collect then Finish,
+// without the drift check (fixtures and partial runs use it). The full
+// driver — cmd/hddlint and the repo-clean test — appends the compiler
+// tier's findings and enables the drift check via Finish directly.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return Finish(pkgs, Collect(pkgs, analyzers), false)
+}
+
 // ignoreKey addresses one suppressed (file, line, analyzer) triple.
 type ignoreKey struct {
 	file     string
@@ -152,22 +202,67 @@ type ignoreKey struct {
 	analyzer string
 }
 
-type ignoreIndex map[ignoreKey]bool
+// ignoreDirective is one parsed //hddlint:ignore comment; used records
+// whether it suppressed at least one diagnostic this run.
+type ignoreDirective struct {
+	pos  token.Position
+	name string
+	used bool
+}
 
-// suppresses reports whether a directive covers the diagnostic's line.
+// ignoreIndex maps each (file, line, analyzer) an ignore covers to the
+// directive that established it, so suppression can be traced back for
+// the drift check.
+type ignoreIndex map[ignoreKey]*ignoreDirective
+
+// suppresses reports whether a directive covers the diagnostic's line,
+// marking the directive used. escapecheck findings are additionally
+// covered by hotalloc-named ignores on the same line: the site-level
+// cold-path justification the hotalloc analyzer honors describes the
+// very allocation the compiler's escape analysis reports.
 func (ig ignoreIndex) suppresses(d Diagnostic) bool {
-	return ig[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	if dir := ig[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; dir != nil {
+		dir.used = true
+		return true
+	}
+	if d.Analyzer == EscapeCheckName {
+		if dir := ig[ignoreKey{d.Pos.Filename, d.Pos.Line, HotAlloc.Name}]; dir != nil {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// drift returns one ignoredrift diagnostic per directive that suppressed
+// nothing.
+func (ig ignoreIndex) drift() []Diagnostic {
+	seen := map[*ignoreDirective]bool{}
+	var out []Diagnostic
+	for _, dir := range ig {
+		if dir.used || seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: IgnoreDriftName,
+			Message: fmt.Sprintf("//hddlint:ignore %s suppresses no %s diagnostic; "+
+				"the justification has rotted — delete the directive or re-anchor it to a live finding",
+				dir.name, dir.name),
+		})
+	}
+	return out
 }
 
 const ignorePrefix = "//hddlint:ignore"
 
-// collectIgnores indexes every //hddlint:ignore directive of a package.
-// A directive suppresses its own source line and, when it is the whole
+// collect indexes every //hddlint:ignore directive of a package. A
+// directive suppresses its own source line and, when it is the whole
 // comment line, the line directly below it (the usual "comment above
 // the statement" placement). Directives missing an analyzer name or a
 // justification are returned as diagnostics instead of being honored.
-func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
-	ig := ignoreIndex{}
+func (ig ignoreIndex) collect(pkg *Package) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -186,26 +281,58 @@ func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
 					})
 					continue
 				}
-				ig[ignoreKey{pos.Filename, pos.Line, name}] = true
-				ig[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				dir := &ignoreDirective{pos: pos, name: name}
+				ig[ignoreKey{pos.Filename, pos.Line, name}] = dir
+				ig[ignoreKey{pos.Filename, pos.Line + 1, name}] = dir
 			}
 		}
 	}
-	return ig, bad
+	return bad
 }
 
-const noallocDirective = "//hddlint:noalloc"
+// Directive names recognized on function doc comments. A single comment
+// line may carry several, space-separated: `//hddlint:noalloc //hddlint:nobc`.
+const (
+	noallocDirective = "//hddlint:noalloc"
+	nobcDirective    = "//hddlint:nobc"
+	binnedDirective  = "//hddlint:binned"
+)
+
+// directiveSet returns every //hddlint:<name> marker in a doc comment,
+// keyed by the full marker text ("//hddlint:noalloc"). Markers may share
+// a line; ignore directives are not collected here (they are positional,
+// not declarative, and carry arguments).
+func directiveSet(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var set map[string]bool
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, "//hddlint:") || strings.HasPrefix(c.Text, ignorePrefix) {
+			continue
+		}
+		for _, tok := range strings.Fields(c.Text) {
+			if !strings.HasPrefix(tok, "//hddlint:") && !strings.HasPrefix(tok, "hddlint:") {
+				continue
+			}
+			tok = strings.TrimPrefix(tok, "//")
+			if set == nil {
+				set = map[string]bool{}
+			}
+			set["//"+tok] = true
+		}
+	}
+	return set
+}
 
 // hasNoallocDirective reports whether a function's doc comment carries
 // the //hddlint:noalloc marker.
 func hasNoallocDirective(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
-			return true
-		}
-	}
-	return false
+	return directiveSet(doc)[noallocDirective]
+}
+
+// hasNobcDirective reports whether a function's doc comment carries the
+// //hddlint:nobc marker.
+func hasNobcDirective(doc *ast.CommentGroup) bool {
+	return directiveSet(doc)[nobcDirective]
 }

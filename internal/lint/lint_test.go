@@ -12,6 +12,8 @@ func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc, filepath.Join
 func TestFloatEqFixture(t *testing.T)    { runFixture(t, FloatEq, filepath.Join("floateq", "a")) }
 func TestBinCmpFixture(t *testing.T)     { runFixture(t, BinCmp, filepath.Join("bincmp", "a")) }
 func TestNakedGoFixture(t *testing.T)    { runFixture(t, NakedGo, filepath.Join("nakedgo", "a")) }
+func TestShardMergeFixture(t *testing.T) { runFixture(t, ShardMerge, filepath.Join("shardmerge", "a")) }
+func TestAtomicMixFixture(t *testing.T)  { runFixture(t, AtomicMix, filepath.Join("atomicmix", "a")) }
 
 // TestMalformedIgnoreDirectives checks that an ignore without an
 // analyzer name or without a justification is itself reported.
@@ -34,10 +36,11 @@ func TestMalformedIgnoreDirectives(t *testing.T) {
 	}
 }
 
-// TestAllAnalyzers pins the suite roster: the five analyzers the CI
-// lint job and the docs promise.
+// TestAllAnalyzers pins the suite roster: the analyzers the CI lint job
+// and the docs promise (the compiler tier and the drift check are
+// pseudo-analyzers driven separately, not listed here).
 func TestAllAnalyzers(t *testing.T) {
-	want := []string{"bincmp", "floateq", "hotalloc", "maporder", "nakedgo", "seededrand"}
+	want := []string{"atomicmix", "bincmp", "floateq", "hotalloc", "maporder", "nakedgo", "seededrand", "shardmerge"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -81,13 +84,54 @@ func TestPackageScoping(t *testing.T) {
 	if inSeededRandPackage("hddcart/internal/simulate") {
 		t.Error("simulate owns its seeded rng config; it is not in the restricted set")
 	}
+	for _, p := range []string{"hddcart/internal/sweep", "hddcart/internal/detect", "hddcart/internal/sweep/sub"} {
+		if !inShardMergePackage(p) {
+			t.Errorf("%s should be shard-merge scoped", p)
+		}
+	}
+	if inShardMergePackage("hddcart/internal/plot") {
+		t.Error("plot merges nothing concurrent; it is not shard-merge scoped")
+	}
 }
 
-// TestRepoIsLintClean runs the full suite over the real module — the
-// acceptance criterion `go run ./cmd/hddlint ./...` exits 0, as a test.
+// TestIgnoreDrift checks the drift pseudo-analyzer: an ignore that
+// suppressed a live finding survives, one that suppressed nothing is
+// itself reported at the directive's position.
+func TestIgnoreDrift(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "ignoredrift", "a"), "ignoredrift/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscoped := &Analyzer{Name: MapOrder.Name, Doc: MapOrder.Doc, Run: MapOrder.Run}
+	pkgs := []*Package{pkg}
+	diags := Finish(pkgs, Collect(pkgs, []*Analyzer{unscoped}), true)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (the stale directive): %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != IgnoreDriftName {
+		t.Errorf("analyzer = %q, want %q", d.Analyzer, IgnoreDriftName)
+	}
+	if d.Pos.Line != 20 {
+		t.Errorf("position = line %d, want line 20 (the stale directive)", d.Pos.Line)
+	}
+	if !strings.Contains(d.Message, "suppresses no maporder diagnostic") {
+		t.Errorf("unexpected message: %s", d.Message)
+	}
+
+	// Without the drift check (partial runs, fixtures) the stale
+	// directive goes unreported.
+	if diags := RunAll(pkgs, []*Analyzer{unscoped}); len(diags) != 0 {
+		t.Errorf("drift-off run reported %v, want nothing", diags)
+	}
+}
+
+// TestRepoIsLintClean runs the full two-tier suite over the real module
+// — the acceptance criterion `go run ./cmd/hddlint ./...` exits 0, as a
+// test: every analyzer, the compiler-contract tier, and the drift check.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
-		t.Skip("type-checks the whole module; skipped in -short")
+		t.Skip("type-checks the whole module and shells out to go build; skipped in -short")
 	}
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -100,8 +144,12 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("LoadModule found only %d packages; the walker is missing the tree", len(pkgs))
 	}
-	diags := RunAll(pkgs, All())
-	for _, d := range diags {
+	diags := Collect(pkgs, All())
+	compiler, err := RunCompilerChecks(root, pkgs, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Finish(pkgs, append(diags, compiler...), true) {
 		t.Errorf("%s", d)
 	}
 }

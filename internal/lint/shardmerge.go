@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardMerge guards the fleet-scan engines' merge discipline: per-shard
+// stats and per-drive outcomes must be combined in an order that is a
+// pure function of the fleet, never of goroutine scheduling. The sweep
+// engine earns its byte-identical-for-every-worker-count guarantee by
+// landing outcomes at drive-owned indexes and folding shard stats in
+// shard order; the two shapes that silently break that are iterating a
+// map (per-run randomized order feeding a float fold or an append) and
+// collecting worker results through a channel (arrival order is
+// scheduling order). ShardMerge flags both at the source:
+//
+//   - range over a map whose body is order-sensitive (anything beyond
+//     the sanctioned append/integer-counter idiom maporder also exempts);
+//   - range over a channel (every iteration order is an arrival order);
+//   - a channel receive whose value is used, inside any function that
+//     also merges (so `<-done` joins and semaphores stay legal, while
+//     `res := <-results; total.add(res)` is flagged).
+//
+// The fix is always the same shape: give every producer an owned index
+// (outcomes), or make the merged quantity commutative and fold it in a
+// deterministic order keyed by shard/drive index, as internal/sweep's
+// Result assembly does.
+var ShardMerge = &Analyzer{
+	Name:      "shardmerge",
+	Doc:       "flags scheduling-ordered merges (map ranges, channel receives) on the shard/fleet scan paths",
+	AppliesTo: inShardMergePackage,
+	Run:       runShardMerge,
+}
+
+func runShardMerge(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShardMerge(p, fd)
+		}
+	}
+}
+
+func checkShardMerge(p *Pass, fd *ast.FuncDecl) {
+	merges := functionMerges(p, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			t := p.TypeOf(e.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				if !orderInsensitiveBody(p, e.Body) {
+					p.Reportf(e.Pos(), "map iteration order is per-run random and this body is order-sensitive; "+
+						"a shard/outcome merge fed from it differs across runs — fold in shard order or index by drive instead")
+				}
+			case *types.Chan:
+				p.Reportf(e.Pos(), "ranging over a channel merges results in arrival order, which is goroutine scheduling order; "+
+					"land each producer's result at an owned index and fold in index order instead")
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() != "<-" {
+				return true
+			}
+			if !merges {
+				return true
+			}
+			if receiveValueDiscarded(fd.Body, e) {
+				return true
+			}
+			p.Reportf(e.Pos(), "channel receive feeds a merge in this function; receive order is goroutine scheduling order — "+
+				"have producers write to owned indexes and fold deterministically instead")
+		}
+		return true
+	})
+}
+
+// functionMerges reports whether the function body contains a merge
+// shape: a float compound accumulation, an append, or a call to an
+// add/merge-named function or method. Receives in functions that only
+// join or synchronize are not merge-fed.
+func functionMerges(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			switch e.Tok.String() {
+			case "+=", "-=":
+				if len(e.Lhs) == 1 && isFloatType(p.TypeOf(e.Lhs[0])) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fn := e.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "append" && isBuiltin(p, fn) {
+					found = true
+				} else if mergeName(fn.Name) {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if mergeName(fn.Sel.Name) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mergeName(name string) bool {
+	switch strings.ToLower(name) {
+	case "add", "merge", "fold", "combine", "accumulate":
+		return true
+	}
+	return false
+}
+
+// receiveValueDiscarded reports whether a receive expression's value is
+// thrown away: the receive is its own statement (`<-done`), or the sole
+// right-hand side assigned entirely to blanks (`_ = <-ch`). Those are
+// joins and semaphores, not merges.
+func receiveValueDiscarded(body *ast.BlockStmt, recv *ast.UnaryExpr) bool {
+	discarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if s.X == recv {
+				discarded = true
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 || s.Rhs[0] != recv {
+				return true
+			}
+			allBlank := true
+			for _, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				discarded = true
+			}
+		}
+		return true
+	})
+	return discarded
+}

@@ -1,0 +1,3 @@
+module contractfixture
+
+go 1.22

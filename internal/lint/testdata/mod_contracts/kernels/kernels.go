@@ -1,0 +1,51 @@
+// Package kernels is the compiler-contract fixture: annotated functions
+// that deliberately violate (and deliberately honor) the noalloc and
+// nobc contracts, so the escapecheck/bcecheck tier can be exercised
+// end-to-end against a real `go build` run.
+package kernels
+
+// leak violates noalloc: returning the address of a local forces it to
+// the heap ("moved to heap: x").
+//
+//hddlint:noalloc
+func leak() *int {
+	x := 42
+	return &x
+}
+
+// get violates nobc: nothing bounds i, so the prove pass must retain an
+// IsInBounds check.
+//
+//hddlint:nobc
+func get(xs []int, i int) int {
+	return xs[i]
+}
+
+// sum honors both contracts: range indexing needs no checks and nothing
+// escapes.
+//
+//hddlint:noalloc //hddlint:nobc
+func sum(xs []float64) float64 {
+	t := 0.0
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+// pick retains a bounds check on purpose; the site ignore justifies it.
+//
+//hddlint:nobc
+func pick(xs []int, i int) int {
+	//hddlint:ignore bcecheck fixture keeps a guarded load on purpose
+	return xs[i]
+}
+
+// box escapes its argument through interface boxing; the hotalloc-named
+// site ignore must also cover the escapecheck finding.
+//
+//hddlint:noalloc
+func box(v int) any {
+	//hddlint:ignore hotalloc fixture boxes on the cold path on purpose
+	return v
+}

@@ -1,0 +1,50 @@
+// Package a is the atomicmix fixture: variables reached both through
+// sync/atomic and plainly, next to the legal all-atomic and init-time
+// shapes.
+package a
+
+import "sync/atomic"
+
+// counter's address feeds atomic calls, so every access must go through
+// the atomic API.
+var counter int64
+
+func bump() {
+	atomic.AddInt64(&counter, 1)
+}
+
+func read() int64 {
+	return counter // want `counter is accessed via sync/atomic elsewhere but plainly here`
+}
+
+func init() {
+	counter = 0 // init runs before any goroutine; plain seeding is legal
+}
+
+type cursor struct {
+	next int64
+	hits atomic.Int64
+}
+
+func (c *cursor) claim() int64 {
+	return atomic.AddInt64(&c.next, 1) - 1
+}
+
+func (c *cursor) reset() {
+	c.next = 0 // want `c.next is accessed via sync/atomic elsewhere but plainly here`
+}
+
+func (c *cursor) copyHits(o *cursor) {
+	c.hits = o.hits // want `assigning a sync/atomic.Int64 as a value bypasses its atomicity`
+}
+
+func (c *cursor) load() int64 {
+	return c.hits.Load() // typed atomics' method calls are the sanctioned access
+}
+
+// plain is never touched atomically; plain access stays legal.
+var plain int64
+
+func bumpPlain() {
+	plain++
+}

@@ -1,0 +1,71 @@
+// Package a is the contract-parsing fixture: every declaration shape a
+// //hddlint:noalloc or //hddlint:nobc marker can attach to.
+package a
+
+// both carries two directives on one comment line.
+//
+//hddlint:noalloc //hddlint:nobc
+func both(xs []int) int {
+	t := 0
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+type walker struct{ data []float64 }
+
+// sumRange is a method contract; the display name gains the receiver.
+//
+//hddlint:nobc
+func (w *walker) sumRange() float64 {
+	t := 0.0
+	for i := range w.data {
+		t += w.data[i]
+	}
+	return t
+}
+
+// sumGeneric is a generic function contract.
+//
+//hddlint:noalloc
+func sumGeneric[T ~int | ~int64](xs []T) T {
+	var t T
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+// genericMethod hangs off a generic receiver.
+//
+//hddlint:nobc
+func (b box[T]) first() T {
+	return b.items[0]
+}
+
+type box[T any] struct{ items []T }
+
+// closure is a var-bound FuncLit; the directive rides the var's doc.
+//
+//hddlint:nobc
+var closure = func(xs []int) int {
+	t := 0
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+var (
+	// grouped shows a ValueSpec doc inside a grouped declaration.
+	//
+	//hddlint:noalloc
+	grouped = func(x int) int { return x * 2 }
+
+	// unmarked has no directive and no contract.
+	unmarked = func() {}
+)
+
+// plain has no directives and must not produce a contract.
+func plain() {}

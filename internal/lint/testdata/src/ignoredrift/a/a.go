@@ -1,0 +1,25 @@
+// Package a is the ignoredrift fixture: one ignore that suppresses a
+// live maporder finding, one that suppresses nothing.
+package a
+
+// sum carries a live suppression: the directive below absorbs the
+// maporder diagnostic on the range line.
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	//hddlint:ignore maporder fixture keeps this suppression live
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// sliceSum ranges a slice; maporder never fires here, so the ignore
+// below has rotted.
+func sliceSum(xs []float64) float64 {
+	t := 0.0
+	//hddlint:ignore maporder this range never triggered the analyzer
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

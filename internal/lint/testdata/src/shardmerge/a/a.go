@@ -1,0 +1,81 @@
+// Package a is the shardmerge fixture: scheduling-ordered merge shapes
+// (map ranges, channel folds, merge-fed receives) next to the sanctioned
+// owned-index idiom.
+package a
+
+type stats struct {
+	sum float64
+	n   int
+}
+
+func (s *stats) add(o stats) {
+	s.sum += o.sum
+	s.n += o.n
+}
+
+// mergeFromMap folds shard stats in map order: per-run random.
+func mergeFromMap(byShard map[int]stats) stats {
+	var total stats
+	for _, s := range byShard { // want `map iteration order is per-run random`
+		total.add(s)
+	}
+	return total
+}
+
+// mergeFromChannel folds in arrival order: scheduling order.
+func mergeFromChannel(ch chan stats) stats {
+	var total stats
+	for s := range ch { // want `ranging over a channel merges results in arrival order`
+		total.add(s)
+	}
+	return total
+}
+
+// receiveAndMerge receives per-worker results and folds each one.
+func receiveAndMerge(ch chan stats, workers int) stats {
+	var total stats
+	for i := 0; i < workers; i++ {
+		s := <-ch // want `channel receive feeds a merge in this function`
+		total.add(s)
+	}
+	return total
+}
+
+// join only waits; the received value is discarded, so this is a join,
+// not a merge.
+func join(done chan struct{}, workers int) {
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+}
+
+// drainBlank assigns the receive entirely to blanks — a semaphore.
+func drainBlank(ch chan int) {
+	_ = <-ch
+}
+
+// receiveNoMerge passes a received value through without merging, as a
+// single-producer handoff does.
+func receiveNoMerge(ch chan int) int {
+	return <-ch
+}
+
+// collectKeys ranges a map but only appends; ordering happens later, so
+// the body is order-insensitive and legal.
+func collectKeys(byShard map[int]stats) []int {
+	keys := make([]int, 0, len(byShard))
+	for k := range byShard {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// indexedMerge is the sanctioned shape: every producer owns an index and
+// the fold walks indexes in order.
+func indexedMerge(results []stats) stats {
+	var total stats
+	for i := range results {
+		total.add(results[i])
+	}
+	return total
+}

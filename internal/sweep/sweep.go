@@ -449,6 +449,8 @@ func runWorker(f *Fleet, w int, model TiledPredictor, out []detect.Outcome,
 // and writes the outcome at the drive's own index. Stats accumulate
 // locally and land on the item's (deterministic) shard in one batch of
 // atomic adds.
+//
+//hddlint:noalloc
 func runItem(model TiledPredictor, s *shard, it *workItem, sc *scratch,
 	out []detect.Outcome, failHours []int, voters int, threshold float64, mean bool) {
 	n := int(it.rowHi - it.rowLo)
