@@ -8,6 +8,7 @@
 //	hddpred evaluate -data traces.csv -m model.json [-voters 11]
 //	hddpred predict  -data traces.csv -m model.json [-voters 11]
 //	hddpred inspect  -m model.json
+//	hddpred serve    -m model.json [-addr :9130] [-shards 8] [-snapshot state.snap]
 //
 // Training follows the paper's setup: a few random samples per good drive
 // from the earlier 70% of the observation window, failed-window samples of
@@ -44,7 +45,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: hddpred <train|evaluate|predict|inspect> [flags]")
+		return errors.New("usage: hddpred <train|evaluate|predict|inspect|featsel|serve> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -57,6 +58,8 @@ func run(args []string) error {
 		return cmdInspect(args[1:])
 	case "featsel":
 		return cmdFeatsel(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hddcart"
+	"hddcart/internal/serve"
+	"hddcart/internal/smart"
+)
+
+// cmdServe runs the long-lived fleet-monitoring service: SMART batches
+// in over HTTP, routed to serial-sharded monitors, warnings out through
+// the merged feed, state snapshotted across restarts.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	modelPath := fs.String("m", "", "model file (required)")
+	addr := fs.String("addr", ":9130", "HTTP listen address")
+	shards := fs.Int("shards", 0, "monitor shard count (0 = default)")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard ingest queue bound (0 = default)")
+	policyFlag := fs.String("policy", "reject", "full-queue policy: reject (backpressure, 429) or shed (evict oldest)")
+	voters := fs.Int("voters", 11, "voting/averaging window N")
+	threshold := fs.Float64("threshold", -0.3, "health-degree alarm threshold (rt models)")
+	staleAfter := fs.Int("stale-after", 0, "reset a drive's vote window after a telemetry gap this long (hours; 0 disables)")
+	badBudget := fs.Int("bad-budget", 0, "per-drive corrupt-sample budget before quarantine (0 = default, negative disables)")
+	snapshot := fs.String("snapshot", "", "state snapshot file: restored on start, written on shutdown")
+	snapshotEvery := fs.Duration("snapshot-every", 0, "periodic snapshot interval (requires -snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return errors.New("serve: -m model file is required")
+	}
+	policy, err := serve.ParsePolicy(*policyFlag)
+	if err != nil {
+		return err
+	}
+	model, mf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	// Mirror the evaluate/predict detection rules: regression trees
+	// alarm on the window's mean health degree against -threshold,
+	// classifiers by majority vote at the ±1 cut.
+	mcfg := hddcart.MonitorConfig{
+		Features:        smart.CriticalFeatures(),
+		Model:           model,
+		Voters:          *voters,
+		StaleAfterHours: *staleAfter,
+		BadSampleBudget: *badBudget,
+	}
+	if mf.Type == "rt" {
+		mcfg.UseMean = true
+		mcfg.Threshold = *threshold
+	}
+	cfg := serve.Config{
+		Shards:        *shards,
+		QueueDepth:    *queueDepth,
+		Policy:        policy,
+		NewMonitor:    func() (*hddcart.Monitor, error) { return hddcart.NewMonitor(mcfg) },
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	m := s.Metrics()
+	fmt.Fprintf(os.Stderr, "serve: %s model, %d shards, policy %s, listening on %s\n",
+		mf.Type, s.Shards(), policy, *addr)
+	if m.SnapshotRestored {
+		fmt.Fprintf(os.Stderr, "serve: restored state from %s (%d drives observed)\n",
+			*snapshot, m.Totals.Monitor.Observed)
+	} else if m.SnapshotErrors > 0 {
+		fmt.Fprintf(os.Stderr, "serve: snapshot %s unusable, cold start (counted)\n", *snapshot)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	//hddlint:ignore nakedgo the listener goroutine lives for the whole process; it is joined below through errCh (ListenAndServe only returns on Shutdown or a fatal listen error)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (port in use, ...): still drain
+		// the shards and write the final snapshot before reporting.
+		if closeErr := s.Close(); closeErr != nil {
+			return errors.Join(err, closeErr)
+		}
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "serve: %v, shutting down\n", got)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: http shutdown: %v\n", err)
+	}
+	<-errCh // join the listener goroutine (returns ErrServerClosed)
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("serve: final snapshot: %w", err)
+	}
+	if *snapshot != "" {
+		fmt.Fprintf(os.Stderr, "serve: state snapshotted to %s\n", *snapshot)
+	}
+	return nil
+}

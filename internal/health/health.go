@@ -97,6 +97,18 @@ func (q *Queue) Update(drive int, health float64) bool {
 	return false
 }
 
+// Items returns a copy of every outstanding warning, sorted by drive ID
+// (not by urgency — use Pop for triage order). It exists for state
+// serialization: a snapshot needs the queue's contents in an order that
+// is a pure function of the warnings, independent of the heap's
+// insertion history.
+func (q *Queue) Items() []Warning {
+	items := make([]Warning, len(q.h))
+	copy(items, q.h)
+	sort.Slice(items, func(i, j int) bool { return items[i].Drive < items[j].Drive })
+	return items
+}
+
 // warningHeap implements heap.Interface.
 type warningHeap []Warning
 

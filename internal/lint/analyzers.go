@@ -51,11 +51,13 @@ func inSeededRandPackage(path string) bool {
 }
 
 // shardMergePackages is where the deterministic shard-merge discipline
-// applies: the fleet-sweep engine and the detectors' parallel scan
-// paths, whose results must be byte-identical for every worker count.
+// applies: the fleet-sweep engine, the detectors' parallel scan paths,
+// and the fleet-monitoring service's shard/feed merges — everywhere
+// results must be byte-identical for every worker or shard count.
 var shardMergePackages = map[string]bool{
 	"hddcart/internal/sweep":  true,
 	"hddcart/internal/detect": true,
+	"hddcart/internal/serve":  true,
 }
 
 func inShardMergePackage(path string) bool {

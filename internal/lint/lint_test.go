@@ -84,7 +84,7 @@ func TestPackageScoping(t *testing.T) {
 	if inSeededRandPackage("hddcart/internal/simulate") {
 		t.Error("simulate owns its seeded rng config; it is not in the restricted set")
 	}
-	for _, p := range []string{"hddcart/internal/sweep", "hddcart/internal/detect", "hddcart/internal/sweep/sub"} {
+	for _, p := range []string{"hddcart/internal/sweep", "hddcart/internal/detect", "hddcart/internal/serve", "hddcart/internal/sweep/sub"} {
 		if !inShardMergePackage(p) {
 			t.Errorf("%s should be shard-merge scoped", p)
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets allocation assertions stand down under the race
+// detector, whose instrumentation allocates.
+const raceEnabled = true

@@ -206,6 +206,16 @@ func (r *Reader) ReadAll() ([]DriveTrace, error) {
 	}
 }
 
+// ParseRow parses one data row of the native CSV layout into the drive's
+// metadata and its record, reporting failures as line-pinned RowErrors.
+// It exists for streaming consumers (the serve ingest endpoint) that
+// route rows one at a time and must keep going past a malformed row with
+// per-line accounting, where Reader's whole-drive strictness would abort
+// the batch. The row must already have len(Header()) fields.
+func ParseRow(row []string, line int) (DriveMeta, smart.Record, error) {
+	return parseRow(row, line)
+}
+
 func parseRow(row []string, line int) (DriveMeta, smart.Record, error) {
 	var meta DriveMeta
 	var rec smart.Record

@@ -161,11 +161,27 @@ type MonitorStats struct {
 	Quarantined int
 }
 
+// Add accumulates another monitor's counters into s. Fleet services that
+// shard one logical population across several monitors sum the per-shard
+// stats into one fleet-wide view; addition is commutative, so the result
+// is independent of shard order and shard count.
+func (s *MonitorStats) Add(o MonitorStats) {
+	s.Observed += o.Observed
+	s.Scored += o.Scored
+	s.DroppedOutOfOrder += o.DroppedOutOfOrder
+	s.DroppedDuplicate += o.DroppedDuplicate
+	s.DroppedInvalid += o.DroppedInvalid
+	s.DroppedQuarantined += o.DroppedQuarantined
+	s.Repaired += o.Repaired
+	s.StaleResets += o.StaleResets
+	s.QuarantineEvents += o.QuarantineEvents
+	s.Quarantined += o.Quarantined
+}
+
 // monitoredDrive is the per-drive sliding state.
 type monitoredDrive struct {
 	history     []smart.Record // bounded chronological history
-	scores      []float64      // last N scores
-	votes       int            // failed votes within the window
+	window      detect.Window  // last N scores + failed-vote count
 	badRun      int            // consecutive corrupt arrivals
 	quarantined bool
 }
@@ -241,8 +257,7 @@ func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
 		if m.cfg.StaleAfterHours > 0 && rec.Hour-last > m.cfg.StaleAfterHours {
 			// Telemetry blackout: predictions from before the gap must
 			// not vote on the drive's health after it.
-			d.scores = d.scores[:0]
-			d.votes = 0
+			d.window.Reset()
 			m.stats.StaleResets++
 		}
 	}
@@ -253,8 +268,7 @@ func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
 		if m.budget > 0 && d.badRun >= m.budget {
 			d.quarantined = true
 			d.history = nil
-			d.scores = nil
-			d.votes = 0
+			d.window = detect.Window{}
 			m.stats.QuarantineEvents++
 			m.stats.Quarantined++
 			m.stats.DroppedInvalid++
@@ -299,33 +313,15 @@ func (m *Monitor) Observe(driveID string, rec Record) (MonitorWarning, bool) {
 	}
 	m.stats.Scored++
 
-	d.scores = append(d.scores, score)
-	if score < m.cfg.Threshold {
-		d.votes++
-	}
-	if len(d.scores) > m.cfg.Voters {
-		if d.scores[len(d.scores)-m.cfg.Voters-1] < m.cfg.Threshold {
-			d.votes--
-		}
-		d.scores = d.scores[len(d.scores)-m.cfg.Voters:]
-	}
-	if len(d.scores) < m.cfg.Voters {
+	// The shared incremental window (detect.Window) slides to the last
+	// Voters scores and maintains the failed-vote count; the detection
+	// rule is the same one the batch sweeps reconstruct offline.
+	d.window.Push(score, m.cfg.Voters, m.cfg.Threshold)
+	if !d.window.Full(m.cfg.Voters) {
 		return MonitorWarning{}, false
 	}
-
-	mean := 0.0
-	for _, s := range d.scores {
-		mean += s
-	}
-	mean /= float64(len(d.scores))
-
-	tripped := false
-	if m.cfg.UseMean {
-		tripped = mean < m.cfg.Threshold
-	} else {
-		tripped = 2*d.votes > m.cfg.Voters
-	}
-	if !tripped {
+	mean := d.window.Mean()
+	if !d.window.Tripped(m.cfg.Voters, m.cfg.Threshold, m.cfg.UseMean) {
 		return MonitorWarning{}, false
 	}
 	id := stableID(driveID)

@@ -1,0 +1,208 @@
+package hddcart
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hddcart/internal/detect"
+	"hddcart/internal/smart"
+)
+
+// MonitorSnapshotVersion is the on-disk version of the monitor snapshot
+// format. Restores reject any other version: the state is vote windows
+// and quarantine flags, where a silent misread costs missed failures, so
+// an unknown layout falls back to cold start rather than a guess.
+const MonitorSnapshotVersion = 1
+
+// monitorSnapshot is the serialized form of a Monitor's mutable state.
+// The config block is a fingerprint, not a restore source: a snapshot
+// only makes sense under the detection rule that produced it, so
+// RestoreSnapshot refuses a snapshot whose fingerprint differs from the
+// target monitor's configuration.
+type monitorSnapshot struct {
+	Version int `json:"version"`
+
+	// Config fingerprint.
+	Voters          int     `json:"voters"`
+	Threshold       float64 `json:"threshold"`
+	UseMean         bool    `json:"use_mean,omitempty"`
+	Features        int     `json:"features"`
+	HistoryHours    int     `json:"history_hours"`
+	StaleAfterHours int     `json:"stale_after_hours,omitempty"`
+	BadSampleBudget int     `json:"bad_sample_budget"`
+	Binned          bool    `json:"binned,omitempty"`
+
+	// Mutable state. Drives and Warned are sorted by serial and Queue by
+	// (serial, hour) so encoding is a pure function of monitor state:
+	// two monitors with equal state produce byte-identical snapshots.
+	Drives []driveSnapshot  `json:"drives"`
+	Warned []string         `json:"warned,omitempty"`
+	Queue  []MonitorWarning `json:"queue,omitempty"`
+	Stats  MonitorStats     `json:"stats"`
+}
+
+// driveSnapshot is one drive's sliding state.
+type driveSnapshot struct {
+	Serial      string         `json:"serial"`
+	History     []smart.Record `json:"history,omitempty"`
+	Scores      []float64      `json:"scores,omitempty"`
+	Votes       int            `json:"votes,omitempty"`
+	BadRun      int            `json:"bad_run,omitempty"`
+	Quarantined bool           `json:"quarantined,omitempty"`
+}
+
+// EncodeSnapshot writes the monitor's complete mutable state — per-drive
+// history and vote windows, quarantine flags, the warned set, the triage
+// queue and the ingest accounting — as versioned JSON. The encoding is
+// deterministic (drives, warned serials and queue entries are emitted in
+// sorted order), so equal monitor states encode byte-identically and a
+// snapshot diff is a state diff. Scores and thresholds round-trip
+// exactly: encoding/json emits the shortest representation that parses
+// back to the same float64.
+func (m *Monitor) EncodeSnapshot(w io.Writer) error {
+	snap := monitorSnapshot{
+		Version:         MonitorSnapshotVersion,
+		Voters:          m.cfg.Voters,
+		Threshold:       m.cfg.Threshold,
+		UseMean:         m.cfg.UseMean,
+		Features:        len(m.cfg.Features),
+		HistoryHours:    m.cfg.HistoryHours,
+		StaleAfterHours: m.cfg.StaleAfterHours,
+		BadSampleBudget: m.budget,
+		Binned:          m.binned != nil,
+		Drives:          make([]driveSnapshot, 0, len(m.drives)),
+		Stats:           m.stats,
+	}
+	drives := snap.Drives
+	for serial, d := range m.drives {
+		drives = append(drives, driveSnapshot{
+			Serial:      serial,
+			History:     d.history,
+			Scores:      d.window.Scores,
+			Votes:       d.window.Votes,
+			BadRun:      d.badRun,
+			Quarantined: d.quarantined,
+		})
+	}
+	sort.Slice(drives, func(i, j int) bool { return drives[i].Serial < drives[j].Serial })
+	snap.Drives = drives
+	var warned []string
+	for serial := range m.warned {
+		warned = append(warned, serial)
+	}
+	sort.Strings(warned)
+	snap.Warned = warned
+	for _, qw := range m.queue.Items() {
+		snap.Queue = append(snap.Queue, MonitorWarning{
+			Serial: m.serials[qw.Drive], Health: qw.Health, Hour: qw.Hour,
+		})
+	}
+	sort.Slice(snap.Queue, func(i, j int) bool {
+		if snap.Queue[i].Serial != snap.Queue[j].Serial {
+			return snap.Queue[i].Serial < snap.Queue[j].Serial
+		}
+		return snap.Queue[i].Hour < snap.Queue[j].Hour
+	})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("hddcart: encode monitor snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreSnapshot loads a snapshot produced by EncodeSnapshot into a
+// freshly constructed monitor, resuming every drive's vote window,
+// history, quarantine state and the warning queue exactly where the
+// encoding monitor left off: a restored monitor fed the remainder of a
+// stream emits byte-identical warnings to one that never stopped.
+//
+// The target must be unused (nothing observed) and configured with the
+// same detection rule as the snapshot's fingerprint; any version,
+// fingerprint or decode mismatch is an error and leaves the monitor
+// empty, so callers can fall back to a counted cold start.
+func (m *Monitor) RestoreSnapshot(r io.Reader) error {
+	if m.stats.Observed != 0 || len(m.drives) != 0 {
+		return fmt.Errorf("hddcart: restore onto a used monitor (%d observed)", m.stats.Observed)
+	}
+	var snap monitorSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("hddcart: decode monitor snapshot: %w", err)
+	}
+	if snap.Version != MonitorSnapshotVersion {
+		return fmt.Errorf("hddcart: monitor snapshot version %d, want %d", snap.Version, MonitorSnapshotVersion)
+	}
+	if err := m.checkFingerprint(&snap); err != nil {
+		return err
+	}
+	for i := range snap.Drives {
+		ds := &snap.Drives[i]
+		if ds.Serial == "" {
+			m.reset()
+			return fmt.Errorf("hddcart: monitor snapshot drive %d has no serial", i)
+		}
+		if _, dup := m.drives[ds.Serial]; dup {
+			m.reset()
+			return fmt.Errorf("hddcart: monitor snapshot repeats drive %q", ds.Serial)
+		}
+		m.drives[ds.Serial] = &monitoredDrive{
+			history:     ds.History,
+			window:      detect.Window{Scores: ds.Scores, Votes: ds.Votes},
+			badRun:      ds.BadRun,
+			quarantined: ds.Quarantined,
+		}
+	}
+	for _, serial := range snap.Warned {
+		m.warned[serial] = true
+		m.serials[stableID(serial)] = serial
+	}
+	for _, qw := range snap.Queue {
+		id := stableID(qw.Serial)
+		m.serials[id] = qw.Serial
+		m.queue.Push(Warning{Drive: id, Health: qw.Health, Hour: qw.Hour})
+	}
+	m.stats = snap.Stats
+	return nil
+}
+
+// checkFingerprint rejects snapshots taken under a different detection
+// configuration than the restoring monitor's.
+func (m *Monitor) checkFingerprint(snap *monitorSnapshot) error {
+	switch {
+	case snap.Voters != m.cfg.Voters:
+		return fmt.Errorf("hddcart: snapshot voters %d, monitor has %d", snap.Voters, m.cfg.Voters)
+	case !sameThreshold(snap.Threshold, m.cfg.Threshold):
+		return fmt.Errorf("hddcart: snapshot threshold %v, monitor has %v", snap.Threshold, m.cfg.Threshold)
+	case snap.UseMean != m.cfg.UseMean:
+		return fmt.Errorf("hddcart: snapshot use_mean %v, monitor has %v", snap.UseMean, m.cfg.UseMean)
+	case snap.Features != len(m.cfg.Features):
+		return fmt.Errorf("hddcart: snapshot has %d features, monitor has %d", snap.Features, len(m.cfg.Features))
+	case snap.HistoryHours != m.cfg.HistoryHours:
+		return fmt.Errorf("hddcart: snapshot history %d h, monitor has %d h", snap.HistoryHours, m.cfg.HistoryHours)
+	case snap.StaleAfterHours != m.cfg.StaleAfterHours:
+		return fmt.Errorf("hddcart: snapshot stale timeout %d h, monitor has %d h", snap.StaleAfterHours, m.cfg.StaleAfterHours)
+	case snap.BadSampleBudget != m.budget:
+		return fmt.Errorf("hddcart: snapshot error budget %d, monitor has %d", snap.BadSampleBudget, m.budget)
+	case snap.Binned != (m.binned != nil):
+		return fmt.Errorf("hddcart: snapshot binned %v, monitor binned %v", snap.Binned, m.binned != nil)
+	}
+	return nil
+}
+
+// sameThreshold reports whether a snapshot's threshold equals the
+// monitor's configured one.
+//
+//hddlint:floatcmp both sides are copies of the same configured constant, never the result of arithmetic, so equality tests config identity
+func sameThreshold(a, b float64) bool { return a == b }
+
+// reset drops any partially restored state so a failed restore leaves
+// the monitor cold rather than half-loaded.
+func (m *Monitor) reset() {
+	m.drives = make(map[string]*monitoredDrive)
+	m.warned = make(map[string]bool)
+	m.serials = make(map[int]string)
+	m.queue = WarningQueue{}
+	m.stats = MonitorStats{}
+}

@@ -1,0 +1,182 @@
+package hddcart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// feedRamp drives a monitor with serial's deteriorating stream over
+// [0, hours): healthy (+0.8) until failFrom, then failing (−0.8).
+func feedRamp(m *Monitor, serial string, hours, failFrom int) []MonitorWarning {
+	var ws []MonitorWarning
+	for h := 0; h < hours; h++ {
+		v := 0.8
+		if h >= failFrom {
+			v = -0.8
+		}
+		if w, ok := m.Observe(serial, recAt(h, v)); ok {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+func encodeString(t *testing.T, m *Monitor) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMonitorSnapshotRoundTrip checks that restore is lossless: a
+// restored monitor re-encodes to byte-identical JSON, proving every
+// piece of mutable state (histories, windows, warned set, queue, stats)
+// survived the round trip.
+func TestMonitorSnapshotRoundTrip(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	feedRamp(m, "drive-a", 12, 6)
+	feedRamp(m, "drive-b", 12, 100) // stays healthy
+	feedRamp(m, "drive-c", 12, 2)
+	first := encodeString(t, m)
+
+	m2 := newTestMonitor(t, 3, false)
+	if err := m2.RestoreSnapshot(strings.NewReader(first)); err != nil {
+		t.Fatal(err)
+	}
+	second := encodeString(t, m2)
+	if first != second {
+		t.Errorf("snapshot not byte-identical after round trip:\n%s\nvs\n%s", first, second)
+	}
+	if m2.Stats() != m.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", m2.Stats(), m.Stats())
+	}
+	if m2.Outstanding() != m.Outstanding() {
+		t.Errorf("outstanding %d, want %d", m2.Outstanding(), m.Outstanding())
+	}
+}
+
+// TestMonitorSnapshotResume checks the service contract: killing a
+// monitor mid-window, restoring, and replaying the remainder of the
+// stream produces exactly the warnings the uninterrupted monitor
+// produces — vote windows resume where they left off, not from cold.
+func TestMonitorSnapshotResume(t *testing.T) {
+	const hours, failFrom, cut = 16, 7, 9 // cut lands mid-deterioration-window
+	cont := newTestMonitor(t, 3, false)
+	contWarnings := feedRamp(cont, "drive-a", hours, failFrom)
+
+	half := newTestMonitor(t, 3, false)
+	var got []MonitorWarning
+	for h := 0; h < cut; h++ {
+		v := 0.8
+		if h >= failFrom {
+			v = -0.8
+		}
+		if w, ok := half.Observe("drive-a", recAt(h, v)); ok {
+			got = append(got, w)
+		}
+	}
+	snap := encodeString(t, half)
+	resumed := newTestMonitor(t, 3, false)
+	if err := resumed.RestoreSnapshot(strings.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	for h := cut; h < hours; h++ {
+		if w, ok := resumed.Observe("drive-a", recAt(h, -0.8)); ok {
+			got = append(got, w)
+		}
+	}
+	if len(got) != len(contWarnings) {
+		t.Fatalf("resumed run raised %d warnings, uninterrupted %d", len(got), len(contWarnings))
+	}
+	for i := range got {
+		if got[i] != contWarnings[i] {
+			t.Errorf("warning %d: resumed %+v, uninterrupted %+v", i, got[i], contWarnings[i])
+		}
+	}
+	if encodeString(t, resumed) != encodeString(t, cont) {
+		t.Error("final states diverged between resumed and uninterrupted monitors")
+	}
+}
+
+// TestMonitorSnapshotFingerprint checks that a snapshot only restores
+// under the configuration that produced it.
+func TestMonitorSnapshotFingerprint(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	feedRamp(m, "drive-a", 8, 2)
+	snap := encodeString(t, m)
+
+	cases := []struct {
+		name   string
+		target *Monitor
+	}{
+		{"different voters", newTestMonitor(t, 5, false)},
+		{"different rule", newTestMonitor(t, 3, true)},
+	}
+	for _, tc := range cases {
+		if err := tc.target.RestoreSnapshot(strings.NewReader(snap)); err == nil {
+			t.Errorf("%s: restore accepted a mismatched fingerprint", tc.name)
+		}
+		// A refused restore must leave the target cold and usable.
+		if tc.target.Stats().Observed != 0 {
+			t.Errorf("%s: refused restore left state behind", tc.name)
+		}
+	}
+
+	thr, err := NewMonitor(MonitorConfig{
+		Features: monitorFeatures, Model: firstFeatureModel{}, Voters: 3, Threshold: -0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thr.RestoreSnapshot(strings.NewReader(snap)); err == nil {
+		t.Error("restore accepted a different threshold")
+	}
+}
+
+// TestMonitorSnapshotRejects checks corrupt inputs and misuse fail
+// loudly without panicking or half-loading.
+func TestMonitorSnapshotRejects(t *testing.T) {
+	m := newTestMonitor(t, 3, false)
+	feedRamp(m, "drive-a", 8, 2)
+	snap := encodeString(t, m)
+
+	used := newTestMonitor(t, 3, false)
+	used.Observe("drive-x", recAt(0, 0.5))
+	if err := used.RestoreSnapshot(strings.NewReader(snap)); err == nil {
+		t.Error("restore onto a used monitor accepted")
+	}
+
+	fresh := newTestMonitor(t, 3, false)
+	if err := fresh.RestoreSnapshot(strings.NewReader(snap[:len(snap)/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if err := fresh.RestoreSnapshot(strings.NewReader("not json")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	bad := strings.Replace(snap, `"version":1`, `"version":99`, 1)
+	if err := fresh.RestoreSnapshot(strings.NewReader(bad)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// After every rejection the monitor must still be cold and usable.
+	if fresh.Stats().Observed != 0 {
+		t.Error("rejections left state behind")
+	}
+	if err := fresh.RestoreSnapshot(strings.NewReader(snap)); err != nil {
+		t.Errorf("valid restore after rejections failed: %v", err)
+	}
+}
+
+// TestMonitorStatsAdd checks the shard-aggregation arithmetic.
+func TestMonitorStatsAdd(t *testing.T) {
+	a := MonitorStats{Observed: 3, Scored: 2, DroppedInvalid: 1, Quarantined: 1}
+	b := MonitorStats{Observed: 5, Scored: 4, Repaired: 2, StaleResets: 1}
+	sum := a
+	sum.Add(b)
+	want := MonitorStats{Observed: 8, Scored: 6, DroppedInvalid: 1, Repaired: 2, StaleResets: 1, Quarantined: 1}
+	if sum != want {
+		t.Errorf("got %+v, want %+v", sum, want)
+	}
+}
