@@ -1,6 +1,7 @@
 // Command hddlint is hddcart's multichecker. A full run drives both
 // tiers of internal/lint: the AST/type analyzers (maporder, seededrand,
-// hotalloc, floateq, nakedgo, bincmp, shardmerge, atomicmix) and the
+// hotalloc, floateq, nakedgo, bincmp, shardmerge, atomicmix,
+// asmfallback) and the
 // compiler-contract tier (escapecheck, bcecheck), which shells out to
 // `go build -gcflags='-m=2 -d=ssa/check_bce'` per annotated package and
 // fails on any heap escape in a //hddlint:noalloc function or retained

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"hddcart/internal/ann"
 	"hddcart/internal/cart"
@@ -327,6 +328,58 @@ func compiledModel(model detect.Predictor, mf *modelFile) detect.Predictor {
 	return model
 }
 
+// profileFlags registers the shared -cpuprofile/-memprofile flags on a
+// subcommand's flag set. Pair with startProfiles after parsing.
+func profileFlags(fs *flag.FlagSet) (cpuprofile, memprofile *string) {
+	cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpuprofile, memprofile
+}
+
+// startProfiles begins CPU profiling when requested and returns the stop
+// hook that finishes the CPU profile and writes the heap profile. The
+// hook is safe to defer unconditionally — with both paths empty it does
+// nothing. Profiles taken around a sweep carry the sweep_phase and
+// kernel pprof labels, so `go tool pprof -tagfocus sweep_phase:partition`
+// isolates the scoring phase under the dispatch tier that actually ran.
+func startProfiles(cmd, cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", cmd, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: -cpuprofile: %w", cmd, err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("%s: -cpuprofile: %w", cmd, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("%s: -memprofile: %w", cmd, err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: -memprofile: %w", cmd, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("%s: -memprofile: %w", cmd, err)
+			}
+		}
+		return nil
+	}, nil
+}
+
 // scanWorkers validates a -workers flag for the scan paths (mirroring the
 // training-side validation in cart.Params) and resolves 0 to all cores.
 func scanWorkers(cmd string, workers int) (int, error) {
@@ -339,7 +392,7 @@ func scanWorkers(cmd string, workers int) (int, error) {
 	return workers, nil
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(args []string) (err error) {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	data, format := dataFlags(fs)
 	modelPath := fs.String("m", "model.json", "model file")
@@ -351,12 +404,18 @@ func cmdEvaluate(args []string) error {
 	workers := fs.Int("workers", 0, "scan worker-pool size (0 = all cores); results are identical for any value")
 	useSweep := fs.Bool("sweep", false, "scan through the sharded fleet-sweep engine (tree models): quantize once, score feature-major tiles")
 	shards := fs.Int("shards", 0, "sweep shard count (0 = engine default); outcomes are identical for any value")
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return errors.New("evaluate: -data is required")
 	}
+	stopProf, err := startProfiles("evaluate", *cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopProf()) }()
 	w, err := scanWorkers("evaluate", *workers)
 	if err != nil {
 		return err

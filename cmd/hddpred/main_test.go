@@ -59,6 +59,37 @@ func TestTrainEvaluatePredictInspectCT(t *testing.T) {
 	}
 }
 
+// TestEvaluateProfileFlags pins the -cpuprofile/-memprofile plumbing:
+// both files must exist and be non-empty after an evaluate run, and a
+// bad profile path must fail before any scanning starts.
+func TestEvaluateProfileFlags(t *testing.T) {
+	data := writeFixture(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "ct.json")
+	if err := run([]string{"train", "-data", data, "-model", "ct", "-o", model}); err != nil {
+		t.Fatal(err)
+	}
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"evaluate", "-data", data, "-m", model, "-sweep",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+	if err := run([]string{"evaluate", "-data", data, "-m", model,
+		"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "cpu.prof")}); err == nil {
+		t.Fatal("unwritable -cpuprofile path did not fail")
+	}
+}
+
 func TestTrainRT(t *testing.T) {
 	data := writeFixture(t)
 	model := filepath.Join(t.TempDir(), "rt.json")

@@ -19,7 +19,7 @@ import (
 // cmdServe runs the long-lived fleet-monitoring service: SMART batches
 // in over HTTP, routed to serial-sharded monitors, warnings out through
 // the merged feed, state snapshotted across restarts.
-func cmdServe(args []string) error {
+func cmdServe(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	modelPath := fs.String("m", "", "model file (required)")
 	addr := fs.String("addr", ":9130", "HTTP listen address")
@@ -32,12 +32,18 @@ func cmdServe(args []string) error {
 	badBudget := fs.Int("bad-budget", 0, "per-drive corrupt-sample budget before quarantine (0 = default, negative disables)")
 	snapshot := fs.String("snapshot", "", "state snapshot file: restored on start, written on shutdown")
 	snapshotEvery := fs.Duration("snapshot-every", 0, "periodic snapshot interval (requires -snapshot)")
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" {
 		return errors.New("serve: -m model file is required")
 	}
+	stopProf, err := startProfiles("serve", *cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopProf()) }()
 	policy, err := serve.ParsePolicy(*policyFlag)
 	if err != nil {
 		return err

@@ -1,0 +1,56 @@
+package cart
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+)
+
+// asmKernel is one row of asmKernelRegistry (see
+// partition_avx2_amd64.go): an assembly-backed kernel, the pure-Go
+// function that must replace it on every other build, and the
+// internal/equiv path-name family whose dispatch matrix pins the two
+// bit-identical. The fields hold the functions themselves, not names,
+// so a renamed or deleted kernel breaks the table at compile time.
+type asmKernel struct {
+	asm       any
+	fallback  any
+	equivPath string
+}
+
+// AsmKernelInfo is the exported view of one registry row.
+type AsmKernelInfo struct {
+	// Name and Fallback are the bare function names within this package.
+	Name, Fallback string
+	// EquivPath is the equiv harness path-name family (a path name or
+	// its prefix before the parameter suffix) that exercises the kernel.
+	EquivPath string
+}
+
+// AsmKernels reports every assembly-backed kernel this build linked,
+// with its registered fallback and equiv path family. Builds without
+// assembly (noasm, non-amd64) report none. The equiv tests walk this
+// to prove each registered path family actually exists in the harness.
+func AsmKernels() []AsmKernelInfo {
+	out := make([]AsmKernelInfo, len(asmKernelRegistry))
+	for i, k := range asmKernelRegistry {
+		out[i] = AsmKernelInfo{
+			Name:      funcBaseName(k.asm),
+			Fallback:  funcBaseName(k.fallback),
+			EquivPath: k.equivPath,
+		}
+	}
+	return out
+}
+
+func funcBaseName(f any) string {
+	fn := runtime.FuncForPC(reflect.ValueOf(f).Pointer())
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}

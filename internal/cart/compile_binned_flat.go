@@ -1,6 +1,10 @@
 package cart
 
-import "unsafe"
+import (
+	"unsafe"
+
+	"hddcart/internal/cpu"
+)
 
 // Flat-matrix fast path for the binned batch engine. Code rows produced
 // by dataset.BinnedMatrix.Quantize (and therefore detect.QuantizeSeries)
@@ -99,28 +103,20 @@ func (bt *BinnedTree) runSegmentsFlat(sc *batchScratch, base unsafe.Pointer, str
 
 // partitionRootBinnedFlat splits the implicit sample order 0..n-1 on
 // codes[f] < cut. Unlike partitionRootBinned there is nothing to gather
-// or validate — flatRows already proved the layout — so the loop is one
-// byte load marching down the feature column at the matrix stride.
+// or validate — flatRows already proved the layout. The flat matrix has
+// no contiguous feature column (codes march at the row stride), so the
+// strongest tier here is the SWAR gather — the AVX2 byte-run kernels
+// need the tiled layout.
 //
 //go:noinline
 //hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionRootBinnedFlat(base unsafe.Pointer, stride uintptr, n int,
 	outp unsafe.Pointer, foff uintptr, cut uint8) int {
-	l, m := 0, n-1
-	p := unsafe.Add(base, foff)
-	for k := 0; k < n; k++ {
-		cv := *(*uint8)(p)
-		p = unsafe.Add(p, stride)
-		off, w := m, 0
-		if cv < cut {
-			off, w = 0, 1
-		}
-		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = int32(k)
-		l += w
-		m--
+	if cpu.Active() == cpu.Scalar {
+		return partitionRootFlatScalar(base, stride, n, outp, foff, cut)
 	}
-	return l
+	return partitionRootFlatSWAR(base, stride, n, outp, foff, cut)
 }
 
 // partitionSegBinnedFlat is partitionSegBinned with the row pointer
@@ -131,19 +127,10 @@ func partitionRootBinnedFlat(base unsafe.Pointer, stride uintptr, n int,
 //hddlint:binned
 func partitionSegBinnedFlat(srcp, outp unsafe.Pointer, n int,
 	base unsafe.Pointer, stride, foff uintptr, cut uint8) int {
-	l, m := 0, n-1
-	for k := 0; k < n; k++ {
-		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
-		cv := *(*uint8)(unsafe.Add(base, uintptr(uint32(idx))*stride+foff))
-		off, w := m, 0
-		if cv < cut {
-			off, w = 0, 1
-		}
-		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = idx
-		l += w
-		m--
+	if cpu.Active() == cpu.Scalar {
+		return partitionSegFlatScalar(srcp, outp, n, base, stride, foff, cut)
 	}
-	return l
+	return partitionSegFlatSWAR(srcp, outp, n, base, stride, foff, cut)
 }
 
 // leafPairSegBinnedFlat finishes a segment whose node has two leaf

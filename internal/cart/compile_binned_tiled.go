@@ -4,6 +4,7 @@ import (
 	"math"
 	"unsafe"
 
+	"hddcart/internal/cpu"
 	"hddcart/internal/dataset"
 )
 
@@ -236,25 +237,23 @@ func (bt *BinnedTree) runSegmentsTiled(sc *batchScratch, basep unsafe.Pointer,
 }
 
 // partitionRootBinnedTiled splits the implicit chunk order 0..n-1 on
-// colp[k] < cut. The feature column is contiguous in the tiled layout,
-// so the loop is a straight byte scan — no stride, no gather.
+// colp[k] < cut. The feature column is contiguous in the tiled layout —
+// no stride, no gather — which is exactly the shape the vector tiers
+// want: the dispatch picks the strongest kernel the CPU supports, and
+// every tier produces the same bytes in the same order (see
+// partition_scalar.go for the order contract).
 //
 //go:noinline
 //hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionRootBinnedTiled(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int {
-	l, m := 0, n-1
-	for k := 0; k < n; k++ {
-		cv := *(*uint8)(unsafe.Add(colp, uintptr(k)))
-		off, w := m, 0
-		if cv < cut {
-			off, w = 0, 1
-		}
-		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = int32(k)
-		l += w
-		m--
+	switch cpu.Active() {
+	case cpu.AVX2:
+		return partitionRootTiledAVX2(colp, n, outp, cut)
+	case cpu.SWAR:
+		return partitionRootTiledSWAR(colp, n, outp, cut)
 	}
-	return l
+	return partitionRootTiledScalar(colp, n, outp, cut)
 }
 
 // partitionSegBinnedTiled partitions an interior node's segment: sample
@@ -264,54 +263,38 @@ func partitionRootBinnedTiled(colp unsafe.Pointer, n int, outp unsafe.Pointer, c
 //hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func partitionSegBinnedTiled(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int {
-	l, m := 0, n-1
-	for k := 0; k < n; k++ {
-		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
-		cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
-		off, w := m, 0
-		if cv < cut {
-			off, w = 0, 1
-		}
-		*(*int32)(unsafe.Add(outp, uintptr(l+off)*4)) = idx
-		l += w
-		m--
+	switch cpu.Active() {
+	case cpu.AVX2:
+		return partitionSegTiledAVX2(srcp, outp, n, colp, cut)
+	case cpu.SWAR:
+		return partitionSegTiledSWAR(srcp, outp, n, colp, cut)
 	}
-	return l
+	return partitionSegTiledScalar(srcp, outp, n, colp, cut)
 }
 
 // leafPairSegBinnedTiled finishes a segment whose node has two leaf
 // children in one compare-and-deliver pass over the feature column.
+// The AVX2 tier shares the SWAR kernel: the payload delivery scatters
+// float64s by sample index either way, so only the 8-wide code compare
+// vectorizes and a dedicated assembly body would buy nothing.
 //
 //go:noinline
 //hddlint:noalloc //hddlint:nobc
 //hddlint:binned
 func leafPairSegBinnedTiled(srcp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8,
 	dstp, payp unsafe.Pointer, add bool) {
-	if add {
-		for k := 0; k < n; k++ {
-			idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
-			cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
-			off := uintptr(8)
-			if cv < cut {
-				off = 0
-			}
-			*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) += *(*float64)(unsafe.Add(payp, off))
-		}
+	if cpu.Active() == cpu.Scalar {
+		leafPairSegTiledScalar(srcp, n, colp, cut, dstp, payp, add)
 		return
 	}
-	for k := 0; k < n; k++ {
-		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
-		cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
-		off := uintptr(8)
-		if cv < cut {
-			off = 0
-		}
-		*(*float64)(unsafe.Add(dstp, uintptr(uint32(idx))*8)) = *(*float64)(unsafe.Add(payp, off))
-	}
+	leafPairSegTiledSWAR(srcp, n, colp, cut, dstp, payp, add)
 }
 
 // walkSegBinnedTiled finishes a small segment sample-major down the
 // packed subtree; a row's feature f lives at basep + f·tileRows + idx.
+// With minSegPartition at 2 the partition kernels carry every segment
+// that could amortize anything fancier, so this stays the plain
+// dependent-load walk.
 //
 //hddlint:noalloc
 //hddlint:binned

@@ -1,0 +1,38 @@
+//go:build amd64 && !noasm
+
+package cart
+
+import "unsafe"
+
+// AVX2 tier: hand-written kernels in partition_avx2_amd64.s. Both use
+// the unsigned-compare trick (XOR 0x80 on both sides, then a signed
+// VPCMPGTB) and VPMOVMSKB to turn eight codes into a compare mask, then
+// compact order-preservingly through the permTabL/permTabR VPERMD
+// tables built in partition_swar.go — the same blind-write window
+// contract as the SWAR tier (vector loop while 16 or more elements
+// remain, branch-free scalar tail on the shared cursors).
+//
+// The segment kernel gathers its eight code bytes with scalar VPINSRB
+// loads rather than VPGATHERDD: a dword gather on the last byte of the
+// matrix would read up to three bytes past the allocation.
+
+// partitionRootTiledAVX2 is the AVX2 tier of partitionRootBinnedTiled.
+//
+//go:noescape
+func partitionRootTiledAVX2(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int
+
+// partitionSegTiledAVX2 is the AVX2 tier of partitionSegBinnedTiled.
+//
+//go:noescape
+func partitionSegTiledAVX2(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int
+
+// asmKernelRegistry pairs every assembly-backed kernel in this package
+// with its pure-Go fallback and the internal/equiv path family that
+// pins both bit-identical. The hddlint asmfallback analyzer fails the
+// build if a body-less kernel declaration is missing from this table,
+// and the equiv dispatch-matrix test fails if a named path family does
+// not exist in the harness.
+var asmKernelRegistry = []asmKernel{
+	{asm: partitionRootTiledAVX2, fallback: partitionRootTiledSWAR, equivPath: "tiled-range"},
+	{asm: partitionSegTiledAVX2, fallback: partitionSegTiledSWAR, equivPath: "tiled-range"},
+}

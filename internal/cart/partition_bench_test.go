@@ -1,0 +1,139 @@
+package cart
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// Microbenches for the partition-kernel tiers, recorded in
+// BENCH_fleetsweep.json alongside the fleet-sweep numbers they feed.
+// Each op partitions one full 256-row tile column — the exact shape
+// the sweep engine's root partitions run — with a balanced cut, and
+// reports elements per second. The impls are called directly (not
+// through dispatch) so each sub-benchmark pins one tier regardless of
+// HDDPRED_KERNELS.
+
+const benchPartN = 256
+
+type partBenchData struct {
+	col  []uint8
+	src  []int32
+	out  []int32
+	cut  uint8
+	colp unsafe.Pointer
+	srcp unsafe.Pointer
+	outp unsafe.Pointer
+}
+
+func newPartBenchData() *partBenchData {
+	rng := rand.New(rand.NewSource(7))
+	d := &partBenchData{
+		col: make([]uint8, benchPartN),
+		src: make([]int32, benchPartN),
+		out: make([]int32, benchPartN),
+		cut: 128,
+	}
+	for i := range d.col {
+		d.col[i] = uint8(rng.Intn(256))
+	}
+	for i, p := range rng.Perm(benchPartN) {
+		d.src[i] = int32(p)
+	}
+	d.colp = unsafe.Pointer(&d.col[0])
+	d.srcp = unsafe.Pointer(&d.src[0])
+	d.outp = unsafe.Pointer(&d.out[0])
+	return d
+}
+
+func reportElems(b *testing.B, n int) {
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melems/s")
+}
+
+func BenchmarkPartitionRootTiled(b *testing.B) {
+	d := newPartBenchData()
+	kernels := []struct {
+		name string
+		fn   func(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int
+	}{
+		{"scalar", partitionRootTiledScalar},
+		{"swar", partitionRootTiledSWAR},
+		{"avx2", partitionRootTiledAVX2},
+	}
+	for _, k := range kernels {
+		b.Run("kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.fn(d.colp, benchPartN, d.outp, d.cut)
+			}
+			reportElems(b, benchPartN)
+		})
+	}
+}
+
+func BenchmarkPartitionSegTiled(b *testing.B) {
+	d := newPartBenchData()
+	kernels := []struct {
+		name string
+		fn   func(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int
+	}{
+		{"scalar", partitionSegTiledScalar},
+		{"swar", partitionSegTiledSWAR},
+		{"avx2", partitionSegTiledAVX2},
+	}
+	for _, k := range kernels {
+		b.Run("kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.fn(d.srcp, d.outp, benchPartN, d.colp, d.cut)
+			}
+			reportElems(b, benchPartN)
+		})
+	}
+}
+
+func BenchmarkPartitionSegFlat(b *testing.B) {
+	d := newPartBenchData()
+	const stride = 13
+	flat := make([]uint8, benchPartN*stride)
+	rng := rand.New(rand.NewSource(8))
+	for i := range flat {
+		flat[i] = uint8(rng.Intn(256))
+	}
+	base := unsafe.Pointer(&flat[0])
+	kernels := []struct {
+		name string
+		fn   func(srcp, outp unsafe.Pointer, n int, base unsafe.Pointer, stride, foff uintptr, cut uint8) int
+	}{
+		{"scalar", partitionSegFlatScalar},
+		{"swar", partitionSegFlatSWAR},
+	}
+	for _, k := range kernels {
+		b.Run("kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.fn(d.srcp, d.outp, benchPartN, base, stride, 3, d.cut)
+			}
+			reportElems(b, benchPartN)
+		})
+	}
+}
+
+func BenchmarkPartitionLeafPairTiled(b *testing.B) {
+	d := newPartBenchData()
+	dst := make([]float64, benchPartN)
+	pay := [2]float64{0.25, 0.75}
+	dstp, payp := unsafe.Pointer(&dst[0]), unsafe.Pointer(&pay[0])
+	kernels := []struct {
+		name string
+		fn   func(srcp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8, dstp, payp unsafe.Pointer, add bool)
+	}{
+		{"scalar", leafPairSegTiledScalar},
+		{"swar", leafPairSegTiledSWAR},
+	}
+	for _, k := range kernels {
+		b.Run("kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.fn(d.srcp, benchPartN, d.colp, d.cut, dstp, payp, true)
+			}
+			reportElems(b, benchPartN)
+		})
+	}
+}

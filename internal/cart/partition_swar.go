@@ -1,0 +1,387 @@
+package cart
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// SWAR tier for the partition kernels: 8 codes per uint64, a carry-free
+// bytewise unsigned compare, and a table-driven compaction that
+// reproduces the scalar two-cursor output order exactly.
+//
+// Order preservation is the load-bearing property. The scalar loops
+// write lefts ascending from index 0 and rights DESCENDING from n-1,
+// both in encounter order, and downstream segments inherit that order —
+// so the kernels are order-defining, not just count-defining. The two
+// cursors are independent (left advances only on lefts, right only on
+// rights), so processing a word's lefts as a group and then its rights
+// as a group lands every element at the exact position the interleaved
+// scalar loop would have chosen.
+//
+// Each 8-code word becomes a compare mask; posTabL/posTabR turn the
+// mask into packed store positions and the kernel issues eight
+// unconditional stores per side (blind writes). Garbage lanes — lanes
+// past the side's population count — write into slots that are still
+// inside the unwritten window between the cursors and are overwritten
+// by later words or the tail. The window is wide enough whenever
+// right-left >= 15, which is exactly the vector loop's k+16 <= n bound;
+// the branch-free scalar tail finishes the rest on the same cursors.
+
+const (
+	swarL = 0x0101010101010101
+	swarH = 0x8080808080808080
+	// movmaskMul gathers the eight per-byte high bits (positions 8j+7)
+	// into the top byte, bit j of the result at bit 56+j. The exponents
+	// 7j make every partial product land on a distinct bit, so the
+	// multiply never carries; the kernel tests verify all 256 masks.
+	movmaskMul = 0x0002040810204081
+)
+
+// posTabL[m] packs, in byte j, the lane index of the j-th set bit of
+// mask m (garbage lanes hold 0); posTabR[m] does the same for clear
+// bits. permTabL/permTabR are the dword-lane equivalents the AVX2
+// kernels feed to VPERMD — permTabR is lane-reversed (lane i holds the
+// (7-i)-th clear bit) so one 8-lane store lands the rights descending.
+var (
+	posTabL  [256]uint64
+	posTabR  [256]uint64
+	permTabL [256][8]uint32
+	permTabR [256][8]uint32
+)
+
+func init() {
+	for m := 0; m < 256; m++ {
+		li, ri := 0, 0
+		for b := 0; b < 8; b++ {
+			if m&(1<<b) != 0 {
+				posTabL[m] |= uint64(b) << (8 * li)
+				permTabL[m][li] = uint32(b)
+				li++
+			} else {
+				posTabR[m] |= uint64(b) << (8 * ri)
+				permTabR[m][7-ri] = uint32(b)
+				ri++
+			}
+		}
+	}
+}
+
+// le64 assembles eight consecutive bytes into a uint64, byte k in bits
+// 8k..8k+7. Written as byte loads so it is alignment- and endian-safe
+// everywhere; the compiler's load combining turns it into a single
+// 8-byte load on little-endian targets.
+func le64(p unsafe.Pointer) uint64 {
+	return uint64(*(*uint8)(p)) |
+		uint64(*(*uint8)(unsafe.Add(p, 1)))<<8 |
+		uint64(*(*uint8)(unsafe.Add(p, 2)))<<16 |
+		uint64(*(*uint8)(unsafe.Add(p, 3)))<<24 |
+		uint64(*(*uint8)(unsafe.Add(p, 4)))<<32 |
+		uint64(*(*uint8)(unsafe.Add(p, 5)))<<40 |
+		uint64(*(*uint8)(unsafe.Add(p, 6)))<<48 |
+		uint64(*(*uint8)(unsafe.Add(p, 7)))<<56
+}
+
+// ltMask8 returns an 8-bit mask with bit j set where byte j of x is
+// unsigned-less-than the cut broadcast nc was built from. nc is the
+// bytewise complement of the broadcast cut, ncm is nc &^ swarH; both
+// are loop invariants the callers hoist. Bytewise x < c is "no carry
+// out of x + ^c + 1": s sums the low 7 bits of each byte plus the +1,
+// then the per-byte carry-out is majority(x7, ^c7, carry-in) and the
+// predicate is its complement.
+func ltMask8(x, nc, ncm uint64) uint64 {
+	s := (x &^ swarH) + ncm + swarL
+	lt := swarH &^ ((x & nc) | ((x | nc) & s))
+	return (lt * movmaskMul) >> 56
+}
+
+// gather8 packs the codes of eight consecutive segment indices
+// starting at sp into a uint64, lane j from index j.
+func gather8(sp, colp unsafe.Pointer) uint64 {
+	return uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(sp)))))) |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 4)))))))<<8 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 8)))))))<<16 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 12)))))))<<24 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 16)))))))<<32 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 20)))))))<<40 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 24)))))))<<48 |
+		uint64(*(*uint8)(unsafe.Add(colp, uintptr(uint32(*(*int32)(unsafe.Add(sp, 28)))))))<<56
+}
+
+// partitionRootTiledSWAR is the SWAR tier of partitionRootBinnedTiled:
+// the output indices are the identity order 0..n-1, so compaction adds
+// the word base to the table positions directly.
+//
+//go:noinline
+//hddlint:noalloc //hddlint:nobc
+//hddlint:binned
+func partitionRootTiledSWAR(colp unsafe.Pointer, n int, outp unsafe.Pointer, cut uint8) int {
+	nc := ^(uint64(cut) * swarL)
+	ncm := nc &^ swarH
+	l, r := 0, n-1
+	k := 0
+	for ; k+16 <= n; k += 8 {
+		m := ltMask8(le64(unsafe.Add(colp, uintptr(k))), nc, ncm)
+		pl, pr := posTabL[uint8(m)], posTabR[uint8(m)]
+		pc := bits.OnesCount8(uint8(m))
+		base := int32(k)
+		lp := unsafe.Add(outp, uintptr(uint(l))*4)
+		*(*int32)(lp) = base + int32(pl&7)
+		*(*int32)(unsafe.Add(lp, 4)) = base + int32((pl>>8)&7)
+		*(*int32)(unsafe.Add(lp, 8)) = base + int32((pl>>16)&7)
+		*(*int32)(unsafe.Add(lp, 12)) = base + int32((pl>>24)&7)
+		*(*int32)(unsafe.Add(lp, 16)) = base + int32((pl>>32)&7)
+		*(*int32)(unsafe.Add(lp, 20)) = base + int32((pl>>40)&7)
+		*(*int32)(unsafe.Add(lp, 24)) = base + int32((pl>>48)&7)
+		*(*int32)(unsafe.Add(lp, 28)) = base + int32(pl>>56)
+		l += pc
+		rp := unsafe.Add(outp, uintptr(uint(r))*4)
+		*(*int32)(rp) = base + int32(pr&7)
+		*(*int32)(unsafe.Add(rp, -4)) = base + int32((pr>>8)&7)
+		*(*int32)(unsafe.Add(rp, -8)) = base + int32((pr>>16)&7)
+		*(*int32)(unsafe.Add(rp, -12)) = base + int32((pr>>24)&7)
+		*(*int32)(unsafe.Add(rp, -16)) = base + int32((pr>>32)&7)
+		*(*int32)(unsafe.Add(rp, -20)) = base + int32((pr>>40)&7)
+		*(*int32)(unsafe.Add(rp, -24)) = base + int32((pr>>48)&7)
+		*(*int32)(unsafe.Add(rp, -28)) = base + int32(pr>>56)
+		r -= 8 - pc
+	}
+	for ; k < n; k++ {
+		cv := *(*uint8)(unsafe.Add(colp, uintptr(k)))
+		w := int(ltBit(cv, cut))
+		pos := r ^ ((r ^ l) & -w)
+		*(*int32)(unsafe.Add(outp, uintptr(uint(pos))*4)) = int32(k)
+		l += w
+		r -= 1 - w
+	}
+	return l
+}
+
+// partitionSegTiledSWAR is the SWAR tier of partitionSegBinnedTiled:
+// codes are gathered by segment index, and compaction re-reads the
+// chosen source indices through the position tables.
+//
+//go:noinline
+//hddlint:noalloc //hddlint:nobc
+//hddlint:binned
+func partitionSegTiledSWAR(srcp, outp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8) int {
+	nc := ^(uint64(cut) * swarL)
+	ncm := nc &^ swarH
+	l, r := 0, n-1
+	k := 0
+	for ; k+16 <= n; k += 8 {
+		sp := unsafe.Add(srcp, uintptr(k)*4)
+		m := ltMask8(gather8(sp, colp), nc, ncm)
+		pl, pr := posTabL[uint8(m)], posTabR[uint8(m)]
+		pc := bits.OnesCount8(uint8(m))
+		lp := unsafe.Add(outp, uintptr(uint(l))*4)
+		*(*int32)(lp) = *(*int32)(unsafe.Add(sp, uintptr(pl&7)*4))
+		*(*int32)(unsafe.Add(lp, 4)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>8)&7)*4))
+		*(*int32)(unsafe.Add(lp, 8)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>16)&7)*4))
+		*(*int32)(unsafe.Add(lp, 12)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>24)&7)*4))
+		*(*int32)(unsafe.Add(lp, 16)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>32)&7)*4))
+		*(*int32)(unsafe.Add(lp, 20)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>40)&7)*4))
+		*(*int32)(unsafe.Add(lp, 24)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>48)&7)*4))
+		*(*int32)(unsafe.Add(lp, 28)) = *(*int32)(unsafe.Add(sp, uintptr(pl>>56)*4))
+		l += pc
+		rp := unsafe.Add(outp, uintptr(uint(r))*4)
+		*(*int32)(rp) = *(*int32)(unsafe.Add(sp, uintptr(pr&7)*4))
+		*(*int32)(unsafe.Add(rp, -4)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>8)&7)*4))
+		*(*int32)(unsafe.Add(rp, -8)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>16)&7)*4))
+		*(*int32)(unsafe.Add(rp, -12)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>24)&7)*4))
+		*(*int32)(unsafe.Add(rp, -16)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>32)&7)*4))
+		*(*int32)(unsafe.Add(rp, -20)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>40)&7)*4))
+		*(*int32)(unsafe.Add(rp, -24)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>48)&7)*4))
+		*(*int32)(unsafe.Add(rp, -28)) = *(*int32)(unsafe.Add(sp, uintptr(pr>>56)*4))
+		r -= 8 - pc
+	}
+	for ; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(colp, uintptr(uint32(idx))))
+		w := int(ltBit(cv, cut))
+		pos := r ^ ((r ^ l) & -w)
+		*(*int32)(unsafe.Add(outp, uintptr(uint(pos))*4)) = idx
+		l += w
+		r -= 1 - w
+	}
+	return l
+}
+
+// leafPairSegTiledSWAR finishes a two-leaf-children segment with the
+// 8-wide SWAR compare; the float64 payload delivery stays scalar
+// because it scatters by sample index. Delivery has no blind-write
+// window, so the vector loop runs to the last full word.
+//
+//go:noinline
+//hddlint:noalloc //hddlint:nobc
+//hddlint:binned
+func leafPairSegTiledSWAR(srcp unsafe.Pointer, n int, colp unsafe.Pointer, cut uint8,
+	dstp, payp unsafe.Pointer, add bool) {
+	nc := ^(uint64(cut) * swarL)
+	ncm := nc &^ swarH
+	k := 0
+	if add {
+		for ; k+8 <= n; k += 8 {
+			sp := unsafe.Add(srcp, uintptr(k)*4)
+			m := ltMask8(gather8(sp, colp), nc, ncm)
+			i0 := uintptr(uint32(*(*int32)(sp)))
+			i1 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 4))))
+			i2 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 8))))
+			i3 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 12))))
+			i4 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 16))))
+			i5 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 20))))
+			i6 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 24))))
+			i7 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 28))))
+			*(*float64)(unsafe.Add(dstp, i0*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i1*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>1&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i2*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>2&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i3*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>3&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i4*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>4&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i5*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>5&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i6*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>6&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i7*8)) += *(*float64)(unsafe.Add(payp, (uintptr(m)>>7&1^1)*8))
+		}
+	} else {
+		for ; k+8 <= n; k += 8 {
+			sp := unsafe.Add(srcp, uintptr(k)*4)
+			m := ltMask8(gather8(sp, colp), nc, ncm)
+			i0 := uintptr(uint32(*(*int32)(sp)))
+			i1 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 4))))
+			i2 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 8))))
+			i3 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 12))))
+			i4 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 16))))
+			i5 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 20))))
+			i6 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 24))))
+			i7 := uintptr(uint32(*(*int32)(unsafe.Add(sp, 28))))
+			*(*float64)(unsafe.Add(dstp, i0*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i1*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>1&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i2*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>2&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i3*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>3&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i4*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>4&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i5*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>5&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i6*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>6&1^1)*8))
+			*(*float64)(unsafe.Add(dstp, i7*8)) = *(*float64)(unsafe.Add(payp, (uintptr(m)>>7&1^1)*8))
+		}
+	}
+	leafPairSegTiledScalar(unsafe.Add(srcp, uintptr(k)*4), n-k, colp, cut, dstp, payp, add)
+}
+
+// partitionRootFlatSWAR gathers the feature column at the matrix
+// stride — the flat layout has no contiguous column, so the compare is
+// SWAR over strided loads and the identity-order compaction matches
+// partitionRootTiledSWAR.
+//
+//go:noinline
+//hddlint:noalloc //hddlint:nobc
+//hddlint:binned
+func partitionRootFlatSWAR(base unsafe.Pointer, stride uintptr, n int,
+	outp unsafe.Pointer, foff uintptr, cut uint8) int {
+	nc := ^(uint64(cut) * swarL)
+	ncm := nc &^ swarH
+	p := unsafe.Add(base, foff)
+	l, r := 0, n-1
+	k := 0
+	for ; k+16 <= n; k += 8 {
+		x := uint64(*(*uint8)(p)) |
+			uint64(*(*uint8)(unsafe.Add(p, stride)))<<8 |
+			uint64(*(*uint8)(unsafe.Add(p, 2*stride)))<<16 |
+			uint64(*(*uint8)(unsafe.Add(p, 3*stride)))<<24 |
+			uint64(*(*uint8)(unsafe.Add(p, 4*stride)))<<32 |
+			uint64(*(*uint8)(unsafe.Add(p, 5*stride)))<<40 |
+			uint64(*(*uint8)(unsafe.Add(p, 6*stride)))<<48 |
+			uint64(*(*uint8)(unsafe.Add(p, 7*stride)))<<56
+		p = unsafe.Add(p, 8*stride)
+		m := ltMask8(x, nc, ncm)
+		pl, pr := posTabL[uint8(m)], posTabR[uint8(m)]
+		pc := bits.OnesCount8(uint8(m))
+		base := int32(k)
+		lp := unsafe.Add(outp, uintptr(uint(l))*4)
+		*(*int32)(lp) = base + int32(pl&7)
+		*(*int32)(unsafe.Add(lp, 4)) = base + int32((pl>>8)&7)
+		*(*int32)(unsafe.Add(lp, 8)) = base + int32((pl>>16)&7)
+		*(*int32)(unsafe.Add(lp, 12)) = base + int32((pl>>24)&7)
+		*(*int32)(unsafe.Add(lp, 16)) = base + int32((pl>>32)&7)
+		*(*int32)(unsafe.Add(lp, 20)) = base + int32((pl>>40)&7)
+		*(*int32)(unsafe.Add(lp, 24)) = base + int32((pl>>48)&7)
+		*(*int32)(unsafe.Add(lp, 28)) = base + int32(pl>>56)
+		l += pc
+		rp := unsafe.Add(outp, uintptr(uint(r))*4)
+		*(*int32)(rp) = base + int32(pr&7)
+		*(*int32)(unsafe.Add(rp, -4)) = base + int32((pr>>8)&7)
+		*(*int32)(unsafe.Add(rp, -8)) = base + int32((pr>>16)&7)
+		*(*int32)(unsafe.Add(rp, -12)) = base + int32((pr>>24)&7)
+		*(*int32)(unsafe.Add(rp, -16)) = base + int32((pr>>32)&7)
+		*(*int32)(unsafe.Add(rp, -20)) = base + int32((pr>>40)&7)
+		*(*int32)(unsafe.Add(rp, -24)) = base + int32((pr>>48)&7)
+		*(*int32)(unsafe.Add(rp, -28)) = base + int32(pr>>56)
+		r -= 8 - pc
+	}
+	for ; k < n; k++ {
+		cv := *(*uint8)(p)
+		p = unsafe.Add(p, stride)
+		w := int(ltBit(cv, cut))
+		pos := r ^ ((r ^ l) & -w)
+		*(*int32)(unsafe.Add(outp, uintptr(uint(pos))*4)) = int32(k)
+		l += w
+		r -= 1 - w
+	}
+	return l
+}
+
+// partitionSegFlatSWAR is partitionSegTiledSWAR with each code byte at
+// base + idx·stride + foff.
+//
+//go:noinline
+//hddlint:noalloc //hddlint:nobc
+//hddlint:binned
+func partitionSegFlatSWAR(srcp, outp unsafe.Pointer, n int,
+	base unsafe.Pointer, stride, foff uintptr, cut uint8) int {
+	nc := ^(uint64(cut) * swarL)
+	ncm := nc &^ swarH
+	fb := unsafe.Add(base, foff)
+	l, r := 0, n-1
+	k := 0
+	for ; k+16 <= n; k += 8 {
+		sp := unsafe.Add(srcp, uintptr(k)*4)
+		x := uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(sp)))*stride))) |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 4))))*stride)))<<8 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 8))))*stride)))<<16 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 12))))*stride)))<<24 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 16))))*stride)))<<32 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 20))))*stride)))<<40 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 24))))*stride)))<<48 |
+			uint64(*(*uint8)(unsafe.Add(fb, uintptr(uint32(*(*int32)(unsafe.Add(sp, 28))))*stride)))<<56
+		m := ltMask8(x, nc, ncm)
+		pl, pr := posTabL[uint8(m)], posTabR[uint8(m)]
+		pc := bits.OnesCount8(uint8(m))
+		lp := unsafe.Add(outp, uintptr(uint(l))*4)
+		*(*int32)(lp) = *(*int32)(unsafe.Add(sp, uintptr(pl&7)*4))
+		*(*int32)(unsafe.Add(lp, 4)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>8)&7)*4))
+		*(*int32)(unsafe.Add(lp, 8)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>16)&7)*4))
+		*(*int32)(unsafe.Add(lp, 12)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>24)&7)*4))
+		*(*int32)(unsafe.Add(lp, 16)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>32)&7)*4))
+		*(*int32)(unsafe.Add(lp, 20)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>40)&7)*4))
+		*(*int32)(unsafe.Add(lp, 24)) = *(*int32)(unsafe.Add(sp, uintptr((pl>>48)&7)*4))
+		*(*int32)(unsafe.Add(lp, 28)) = *(*int32)(unsafe.Add(sp, uintptr(pl>>56)*4))
+		l += pc
+		rp := unsafe.Add(outp, uintptr(uint(r))*4)
+		*(*int32)(rp) = *(*int32)(unsafe.Add(sp, uintptr(pr&7)*4))
+		*(*int32)(unsafe.Add(rp, -4)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>8)&7)*4))
+		*(*int32)(unsafe.Add(rp, -8)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>16)&7)*4))
+		*(*int32)(unsafe.Add(rp, -12)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>24)&7)*4))
+		*(*int32)(unsafe.Add(rp, -16)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>32)&7)*4))
+		*(*int32)(unsafe.Add(rp, -20)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>40)&7)*4))
+		*(*int32)(unsafe.Add(rp, -24)) = *(*int32)(unsafe.Add(sp, uintptr((pr>>48)&7)*4))
+		*(*int32)(unsafe.Add(rp, -28)) = *(*int32)(unsafe.Add(sp, uintptr(pr>>56)*4))
+		r -= 8 - pc
+	}
+	for ; k < n; k++ {
+		idx := *(*int32)(unsafe.Add(srcp, uintptr(k)*4))
+		cv := *(*uint8)(unsafe.Add(fb, uintptr(uint32(idx))*stride))
+		w := int(ltBit(cv, cut))
+		pos := r ^ ((r ^ l) & -w)
+		*(*int32)(unsafe.Add(outp, uintptr(uint(pos))*4)) = idx
+		l += w
+		r -= 1 - w
+	}
+	return l
+}

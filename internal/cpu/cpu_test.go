@@ -1,0 +1,79 @@
+package cpu
+
+import "testing"
+
+func TestParseKernelRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{Scalar, SWAR, AVX2} {
+		got, ok := ParseKernel(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKernel("sse9"); ok {
+		t.Fatal("unknown kernel name accepted")
+	}
+	if Kernel(250).String() != "unknown" {
+		t.Fatalf("out-of-range Kernel stringified as %q", Kernel(250).String())
+	}
+}
+
+func TestPickKernel(t *testing.T) {
+	cases := []struct {
+		env  string
+		avx2 bool
+		want Kernel
+	}{
+		{"", false, SWAR},
+		{"", true, AVX2},
+		{"scalar", true, Scalar},
+		{"swar", true, SWAR},
+		{"avx2", true, AVX2},
+		// An unsupported or unknown override keeps the automatic pick.
+		{"avx2", false, SWAR},
+		{"neon", true, AVX2},
+		{"neon", false, SWAR},
+	}
+	for _, tc := range cases {
+		if got := pickKernel(tc.env, tc.avx2); got != tc.want {
+			t.Errorf("pickKernel(%q, avx2=%v) = %v, want %v", tc.env, tc.avx2, got, tc.want)
+		}
+	}
+}
+
+func TestSupportedAndKernels(t *testing.T) {
+	if !Supported(Scalar) || !Supported(SWAR) {
+		t.Fatal("scalar and swar must always be supported")
+	}
+	ks := Kernels()
+	if len(ks) < 2 || ks[0] != Scalar || ks[1] != SWAR {
+		t.Fatalf("Kernels() = %v", ks)
+	}
+	for _, k := range ks {
+		if !Supported(k) {
+			t.Fatalf("Kernels() lists unsupported tier %v", k)
+		}
+	}
+	if !Supported(Active()) {
+		t.Fatalf("active tier %v not supported", Active())
+	}
+}
+
+func TestSetActive(t *testing.T) {
+	orig := Active()
+	defer SetActive(orig)
+	for _, k := range Kernels() {
+		prev, ok := SetActive(k)
+		if !ok {
+			t.Fatalf("SetActive(%v) refused a supported tier", k)
+		}
+		_ = prev
+		if Active() != k {
+			t.Fatalf("Active() = %v after SetActive(%v)", Active(), k)
+		}
+	}
+	if !Supported(AVX2) {
+		if _, ok := SetActive(AVX2); ok {
+			t.Fatal("SetActive accepted an unsupported tier")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+//go:build amd64 && !noasm
+
+package cpu
+
+// cpuid executes CPUID for the given leaf/subleaf.
+//
+//hddlint:ignore asmfallback feature detection only; no data-kernel fallback applies
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+//
+//hddlint:ignore asmfallback feature detection only; no data-kernel fallback applies
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+// detectAVX2 requires the CPU to advertise AVX2 (leaf 7 EBX bit 5) and
+// the OS to have enabled XMM+YMM state saving (OSXSAVE + XCR0 bits
+// 1..2) — AVX instructions fault if the OS does not manage the upper
+// register halves.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package cpu
+
+// Without the amd64 assembly the AVX2 tier does not exist; SWAR is the
+// strongest pick.
+const hasAVX2 = false

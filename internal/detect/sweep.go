@@ -22,9 +22,20 @@ type votingSweep struct {
 
 // feed sweeps scores[lo:hi] (just scored by the model) and returns the
 // alarm index, or -1 to continue with the next chunk.
+func (sw *votingSweep) feed(lo, hi int) int {
+	idx, m, votes := voteFeed(sw.scores, sw.threshold, sw.n, sw.m, sw.votes, lo, hi)
+	sw.m, sw.votes = m, votes
+	return idx
+}
+
+// voteFeed is the voting sweep over explicit state: feed's body lifted
+// to a free function so the per-drive whole-series sweeps (VoteAlarm)
+// run it without materializing a votingSweep on the stack — the struct
+// build-and-copy around the method call costs more than a short series'
+// sweep. Returns the alarm index (or -1) plus the advanced cursor state.
 //
 //hddlint:noalloc //hddlint:nobc
-func (sw *votingSweep) feed(lo, hi int) int {
+func voteFeed(buf []float64, thr float64, n, m0, votes0, lo, hi int) (idx, m, votes int) {
 	// The sweep is ~1/5 of fleet-scan time, so the loop keeps its state in
 	// locals (the compiler would otherwise spill every sw field store) and
 	// writes back only at the exits. Reslicing to hi makes the loop bound
@@ -36,8 +47,8 @@ func (sw *votingSweep) feed(lo, hi int) int {
 		lo = 0
 	}
 	//hddlint:ignore bcecheck the reslice is the per-call hi guard; one check per feed, none per sample
-	scores, thr, n := sw.scores[:hi], sw.threshold, sw.n
-	m, votes := sw.m, sw.votes
+	scores := buf[:hi]
+	m, votes = m0, votes0
 	// Bulk skip: across a run of ≥ n clean non-fails (s ≥ thr excludes
 	// fails and NaN alike), the vote count only decays, so if the window
 	// enters the run below alarm level (2·votes ≤ n) no alarm can fire
@@ -89,12 +100,10 @@ func (sw *votingSweep) feed(lo, hi int) int {
 			votes--
 		}
 		if m >= n && 2*votes > n {
-			sw.m, sw.votes = m, votes
-			return i - 1
+			return i - 1, m, votes
 		}
 	}
-	sw.m, sw.votes = m, votes
-	return -1
+	return -1, m, votes
 }
 
 // meanSweep is the health-degree state: alarm at the first index where
@@ -110,17 +119,25 @@ type meanSweep struct {
 }
 
 // feed sweeps scores[lo:hi] and returns the alarm index, or -1.
+func (sw *meanSweep) feed(lo, hi int) int {
+	idx, cnt, sum := meanFeed(sw.scores, sw.threshold, sw.n, sw.cnt, sw.sum, lo, hi)
+	sw.cnt, sw.sum = cnt, sum
+	return idx
+}
+
+// meanFeed is the mean sweep over explicit state, lifted out of the
+// method for the same per-drive call economy as voteFeed.
 //
 //hddlint:noalloc //hddlint:nobc
-func (sw *meanSweep) feed(lo, hi int) int {
+func meanFeed(buf []float64, thr float64, n, cnt0 int, sum0 float64, lo, hi int) (idx, cnt int, sum float64) {
 	// Resliced to hi (and lo clamped) for the same bounds-check elision
-	// as votingSweep.feed.
+	// as voteFeed.
 	if lo < 0 {
 		lo = 0
 	}
 	//hddlint:ignore bcecheck the reslice is the per-call hi guard; one check per feed, none per sample
-	scores, thr, n := sw.scores[:hi], sw.threshold, sw.n
-	cnt, sum := sw.cnt, sw.sum
+	scores := buf[:hi]
+	cnt, sum = cnt0, sum0
 	for i := lo; i < hi; i++ {
 		s := scores[i]
 		if s != s {
@@ -136,12 +153,10 @@ func (sw *meanSweep) feed(lo, hi int) int {
 			sum -= scores[cnt-n-1]
 		}
 		if cnt >= n && sum/float64(n) < thr {
-			sw.cnt, sw.sum = cnt, sum
-			return i
+			return i, cnt, sum
 		}
 	}
-	sw.cnt, sw.sum = cnt, sum
-	return -1
+	return -1, cnt, sum
 }
 
 // VoteAlarm sweeps one fully scored series through the voting window
@@ -157,13 +172,12 @@ func VoteAlarm(scores []float64, voters int, threshold float64) (idx, excluded i
 	if voters < 1 {
 		voters = 1
 	}
-	sw := votingSweep{scores: scores, threshold: threshold, n: voters}
-	idx = sw.feed(0, len(scores))
+	idx, m, _ := voteFeed(scores, threshold, voters, 0, 0, 0, len(scores))
 	swept := len(scores)
 	if idx >= 0 {
 		swept = idx + 1
 	}
-	return idx, swept - sw.m
+	return idx, swept - m
 }
 
 // MeanAlarm is VoteAlarm for the health-degree (mean-threshold) sweep:
@@ -175,13 +189,12 @@ func MeanAlarm(scores []float64, voters int, threshold float64) (idx, excluded i
 	if voters < 1 {
 		voters = 1
 	}
-	sw := meanSweep{scores: scores, threshold: threshold, n: voters}
-	idx = sw.feed(0, len(scores))
+	idx, cnt, _ := meanFeed(scores, threshold, voters, 0, 0, 0, len(scores))
 	swept := len(scores)
 	if idx >= 0 {
 		swept = idx + 1
 	}
-	return idx, swept - sw.cnt
+	return idx, swept - cnt
 }
 
 // multiVoteAlarms turns one fully scored series into per-window alarm

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hddcart/internal/cart"
+	"hddcart/internal/cpu"
 	"hddcart/internal/dataset"
 	"hddcart/internal/detect"
 	"hddcart/internal/faultinject"
@@ -100,6 +101,18 @@ func TestChaosCorpusBinnedEquivalence(t *testing.T) {
 	if err := CheckAll(c, PointerProb(), CompiledProb(), BinnedProb(), TiledProb()); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("chaos corpus: %d rows, %d injectors, tree %d nodes, exact=%v",
-		len(x), len(faultinject.RecordInjectors()), len(bt.Feature), bt.Exact)
+	// The chaos corpus also replays through every dispatch tier: fault
+	// injection produces the missing-code pile-ups and duplicated rows
+	// that stress the vector kernels' seam handling.
+	for _, p := range []Path{BinnedBatch(0), TiledRange(0), TiledWorkers(4)} {
+		forced := make([]Path, 0, 3)
+		for _, k := range cpu.Kernels() {
+			forced = append(forced, ForceKernel(k, p))
+		}
+		if err := CheckAll(c, forced...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("chaos corpus: %d rows, %d injectors, tree %d nodes, exact=%v, kernels=%v",
+		len(x), len(faultinject.RecordInjectors()), len(bt.Feature), bt.Exact, cpu.Kernels())
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"hddcart/internal/cart"
+	"hddcart/internal/cpu"
 	"hddcart/internal/dataset"
 	"hddcart/internal/detect"
 )
@@ -384,6 +385,29 @@ func TiledProb() Path {
 	return Path{Name: "tiled-prob", Score: func(c *Case, dst []float64) {
 		c.Binned.ProbFailedTiledRange(c.Tiled, 0, len(c.Codes), dst)
 	}}
+}
+
+// ForceKernel pins a path to one dispatch tier: the wrapped path scores
+// with the given kernel active and the previous tier restored after.
+// This is how the kernel-equivalence contract is enforced — the same
+// path, run under every tier the build links, must emit identical bytes,
+// because the partition kernels are order-defining (the order they emit
+// becomes the next tree level's input order, so tiers that merely
+// "count the same" would still diverge downstream). The kernel must be
+// supported on this build (cpu.Kernels lists the supported set); scoring
+// panics otherwise rather than silently testing the wrong tier.
+func ForceKernel(k cpu.Kernel, p Path) Path {
+	return Path{
+		Name: fmt.Sprintf("kernel-%s/%s", k, p.Name),
+		Score: func(c *Case, dst []float64) {
+			prev, ok := cpu.SetActive(k)
+			if !ok {
+				panic(fmt.Sprintf("equiv: kernel %s not supported on this build", k))
+			}
+			defer cpu.SetActive(prev)
+			p.Score(c, dst)
+		},
+	}
 }
 
 // forEachBlock invokes fn over consecutive [lo,hi) blocks.

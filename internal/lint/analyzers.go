@@ -4,7 +4,7 @@ import "strings"
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, BinCmp, FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand, ShardMerge}
+	return []*Analyzer{AsmFallback, AtomicMix, BinCmp, FloatEq, HotAlloc, MapOrder, NakedGo, SeededRand, ShardMerge}
 }
 
 // determinismCritical lists the packages whose outputs must be

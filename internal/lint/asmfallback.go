@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AsmFallback enforces the assembly-fallback contract introduced with the
+// SIMD partition kernels: every assembly-backed function (a body-less
+// FuncDecl whose implementation lives in a .s file) must be registered in
+// its package's asmKernelRegistry with a pure-Go fallback and an equiv
+// harness path family. The registry is what lets noasm and non-amd64
+// builds link (the dispatcher swaps in the fallback) and what the equiv
+// dispatch-matrix test walks to prove the two tiers bit-identical — an
+// unregistered kernel is assembly that nothing pins to its portable twin.
+//
+// Per registry row, the analyzer checks that:
+//
+//   - asm names a body-less package-level function (a bodied one is not
+//     assembly and the row is dead weight),
+//   - fallback names a bodied package-level function with the identical
+//     signature (so the dispatcher can substitute it blindly), and
+//   - equivPath is a non-empty string literal naming the harness family.
+//
+// Body-less declarations that are deliberately unregistered — runtime
+// feature probes like cpuid, which have no meaningful pure-Go fallback —
+// carry //hddlint:ignore asmfallback <reason> on the declaration.
+var AsmFallback = &Analyzer{
+	Name: "asmfallback",
+	Doc:  "checks that assembly-backed kernels register a pure-Go fallback and equiv path in asmKernelRegistry",
+	Run:  runAsmFallback,
+}
+
+const asmRegistryName = "asmKernelRegistry"
+
+func runAsmFallback(p *Pass) {
+	// Pass 1: index every package-level function by whether it has a body.
+	bodied := map[string]bool{}
+	bodyless := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if fd.Body != nil {
+				bodied[fd.Name.Name] = true
+			} else {
+				bodyless[fd.Name.Name] = fd
+			}
+		}
+	}
+	if len(bodyless) == 0 {
+		return
+	}
+
+	// Pass 2: find the registry literal and validate its rows.
+	registered := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != asmRegistryName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue // declared empty (noasm variant)
+					}
+					for _, elt := range lit.Elts {
+						row, ok := elt.(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						checkAsmRow(p, row, bodied, bodyless, registered)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: every body-less declaration must have been registered.
+	for name, fd := range bodyless {
+		if registered[name] {
+			continue
+		}
+		p.Reportf(fd.Pos(), "assembly-backed function %s has no %s row; register a pure-Go fallback and equiv path family so non-asm builds and the dispatch matrix cover it", name, asmRegistryName)
+	}
+}
+
+// checkAsmRow validates one asmKernel literal, recording the asm kernel
+// name it registers.
+func checkAsmRow(p *Pass, row *ast.CompositeLit, bodied map[string]bool, bodyless map[string]*ast.FuncDecl, registered map[string]bool) {
+	fields := asmRowFields(row)
+	asmID, _ := fields["asm"].(*ast.Ident)
+	if asmID == nil {
+		p.Reportf(row.Pos(), "%s row: asm must be a package-level function identifier", asmRegistryName)
+	} else if _, ok := bodyless[asmID.Name]; !ok {
+		p.Reportf(asmID.Pos(), "%s row: %s has a Go body, so it is not an assembly kernel; drop the row or point it at the body-less declaration", asmRegistryName, asmID.Name)
+	} else {
+		registered[asmID.Name] = true
+	}
+
+	fbID, _ := fields["fallback"].(*ast.Ident)
+	if fbID == nil || !bodied[fbID.Name] {
+		pos := row.Pos()
+		if fbID != nil {
+			pos = fbID.Pos()
+		}
+		p.Reportf(pos, "%s row: fallback must name a bodied function in this package; it replaces the assembly on non-asm builds", asmRegistryName)
+	} else if asmID != nil {
+		at, ft := p.TypeOf(asmID), p.TypeOf(fbID)
+		if at != nil && ft != nil && !types.Identical(at, ft) {
+			p.Reportf(fbID.Pos(), "%s row: fallback %s has signature %s, but %s has %s; the dispatcher substitutes them blindly, so signatures must match", asmRegistryName, fbID.Name, ft, asmID.Name, at)
+		}
+	}
+
+	path, _ := fields["equivPath"].(*ast.BasicLit)
+	empty := path == nil
+	if path != nil {
+		if s, err := strconv.Unquote(path.Value); err == nil && s == "" {
+			empty = true
+		}
+	}
+	if empty {
+		pos := row.Pos()
+		if path != nil {
+			pos = path.Pos()
+		}
+		p.Reportf(pos, "%s row: equivPath must be a non-empty string literal naming the equiv harness path family that pins the kernel bit-identical", asmRegistryName)
+	}
+}
+
+// asmRowFields maps an asmKernel literal's field names to value
+// expressions, handling both keyed and positional forms (positional
+// follows the struct's declaration order: asm, fallback, equivPath).
+func asmRowFields(row *ast.CompositeLit) map[string]ast.Expr {
+	order := []string{"asm", "fallback", "equivPath"}
+	out := map[string]ast.Expr{}
+	for i, elt := range row.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				out[key.Name] = kv.Value
+			}
+			continue
+		}
+		if i < len(order) {
+			out[order[i]] = elt
+		}
+	}
+	return out
+}

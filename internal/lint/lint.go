@@ -14,7 +14,11 @@
 //
 // Two tiers run over the module. Tier B is the AST/type analyzers in
 // this package (maporder, seededrand, hotalloc, floateq, nakedgo,
-// bincmp, shardmerge, atomicmix). Tier A — escapecheck and bcecheck in
+// bincmp, shardmerge, atomicmix, asmfallback). Sources are selected
+// under the host's default build context, exactly as the compiler would
+// — packages that pair a tag-gated assembly wrapper with a portable
+// fallback declare the same symbols in both variants, and only one may
+// parse. Tier A — escapecheck and bcecheck in
 // gcflags.go — shells out to the compiler itself (`go build -gcflags
 // '-m=2 -d=ssa/check_bce'`) and turns its position-tagged escape and
 // bounds-check diagnostics into findings against the annotated kernels,

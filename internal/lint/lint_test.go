@@ -6,6 +6,9 @@ import (
 	"testing"
 )
 
+func TestAsmFallbackFixture(t *testing.T) {
+	runFixture(t, AsmFallback, filepath.Join("asmfallback", "a"))
+}
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder, filepath.Join("maporder", "a")) }
 func TestSeededRandFixture(t *testing.T) { runFixture(t, SeededRand, filepath.Join("seededrand", "a")) }
 func TestHotAllocFixture(t *testing.T)   { runFixture(t, HotAlloc, filepath.Join("hotalloc", "a")) }
@@ -40,7 +43,7 @@ func TestMalformedIgnoreDirectives(t *testing.T) {
 // and the docs promise (the compiler tier and the drift check are
 // pseudo-analyzers driven separately, not listed here).
 func TestAllAnalyzers(t *testing.T) {
-	want := []string{"atomicmix", "bincmp", "floateq", "hotalloc", "maporder", "nakedgo", "seededrand", "shardmerge"}
+	want := []string{"asmfallback", "atomicmix", "bincmp", "floateq", "hotalloc", "maporder", "nakedgo", "seededrand", "shardmerge"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

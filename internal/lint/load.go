@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -88,7 +89,7 @@ func packageDirs(root string) (map[string]string, error) {
 			return err
 		}
 		for _, e := range ents {
-			if isSourceFile(e.Name()) {
+			if matchSource(p, e.Name()) {
 				rel, err := filepath.Rel(root, p)
 				if err != nil {
 					return err
@@ -111,6 +112,25 @@ func packageDirs(root string) (map[string]string, error) {
 
 func isSourceFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// buildCtx is the build context the loader resolves file sets under: the
+// host's default GOOS/GOARCH with no extra tags. Packages that pair a
+// tag-gated asm wrapper with a portable fallback (partition_avx2_amd64.go
+// vs partition_noasm.go) declare the same symbols in both files, so
+// parsing every .go file in the directory would double-declare them; the
+// loader must pick exactly the variant the compiler would.
+var buildCtx = build.Default
+
+// matchSource reports whether name is a non-test Go source that belongs
+// to the package under the default build context (file-name suffixes like
+// _amd64.go and //go:build lines both respected).
+func matchSource(dir, name string) bool {
+	if !isSourceFile(name) {
+		return false
+	}
+	ok, err := buildCtx.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // loader type-checks module packages on demand, caching results so each
@@ -167,7 +187,7 @@ func (l *loader) load(path string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range ents {
-		if !isSourceFile(e.Name()) {
+		if !matchSource(dir, e.Name()) {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -1,0 +1,47 @@
+// Package a is the asmfallback fixture: body-less (assembly-backed)
+// declarations with and without asmKernelRegistry rows, plus malformed
+// rows.
+package a
+
+type asmKernel struct {
+	asm       any
+	fallback  any
+	equivPath string
+}
+
+// goodAVX2 is properly registered: bodied fallback, matching signature,
+// non-empty equiv path.
+func goodAVX2(p *byte, n int) int
+
+// orphanAVX2 has no registry row at all.
+func orphanAVX2(p *byte, n int) int // want `assembly-backed function orphanAVX2 has no asmKernelRegistry row`
+
+// chainAVX2's registered fallback is itself body-less: nothing links on
+// a non-asm build.
+func chainAVX2(p *byte, n int) int
+
+// mismatchAVX2's fallback is bodied but takes different parameters.
+func mismatchAVX2(p *byte, n int) int
+
+// noPathAVX2's row leaves equivPath empty, so no harness family pins it.
+func noPathAVX2(p *byte, n int) int
+
+// probe mimics a cpuid-style feature probe: no fallback is meaningful,
+// and the audited ignore suppresses the finding.
+//
+//hddlint:ignore asmfallback fixture: feature probe with no data-kernel fallback
+func probe() uint32
+
+// goodSWAR is the pure-Go tier shared by several rows.
+func goodSWAR(p *byte, n int) int { return n }
+
+// wideSWAR is bodied but its signature differs from mismatchAVX2's.
+func wideSWAR(p *byte, n, k int) int { return n + k }
+
+var asmKernelRegistry = []asmKernel{
+	{asm: goodAVX2, fallback: goodSWAR, equivPath: "tiled-range"},
+	{asm: chainAVX2, fallback: orphanAVX2, equivPath: "tiled-range"},  // want `fallback must name a bodied function in this package`
+	{asm: mismatchAVX2, fallback: wideSWAR, equivPath: "tiled-range"}, // want `fallback wideSWAR has signature .* signatures must match`
+	{asm: noPathAVX2, fallback: goodSWAR, equivPath: ""},              // want `equivPath must be a non-empty string literal`
+	{asm: goodSWAR, fallback: goodSWAR, equivPath: "tiled-range"},     // want `goodSWAR has a Go body, so it is not an assembly kernel`
+}

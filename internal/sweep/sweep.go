@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hddcart/internal/cpu"
 	"hddcart/internal/dataset"
 	"hddcart/internal/detect"
 )
@@ -110,6 +111,16 @@ func (s *Stats) add(o Stats) {
 	s.Steals += o.Steals
 }
 
+// Canon returns the stats with the nondeterministic Steals counter
+// zeroed — the canonical form covered by the determinism guarantee.
+// Comparisons of sweep results across worker counts, shard layouts, or
+// snapshot/restore cycles should compare Canon() values; comparing raw
+// Stats asserts goroutine scheduling, which no API promises.
+func (s Stats) Canon() Stats {
+	s.Steals = 0
+	return s
+}
+
 // Result is one sweep's output.
 type Result struct {
 	// Outcomes holds each drive's outcome at its own index — identical
@@ -119,6 +130,11 @@ type Result struct {
 	Shards []Stats
 	// Total is the fold of Shards in shard order.
 	Total Stats
+	// Kernel names the partition-kernel tier the sweep's scoring ran on
+	// ("scalar", "swar" or "avx2") — diagnostic only; every tier is
+	// bit-identical, so Outcomes and the deterministic stats never vary
+	// with it.
+	Kernel string
 }
 
 // driveRef locates one drive inside its shard.
@@ -400,8 +416,11 @@ func Run(model TiledPredictor, fleet *Fleet, failHours []int, cfg Config) (*Resu
 		s.stats.reset()
 	}
 	out := make([]detect.Outcome, fleet.numDrives)
+	// The kernel label distinguishes profiles of the same phase taken
+	// under different dispatch tiers (HDDPRED_KERNELS sets the tier).
+	kern := cpu.Active().String()
 	var wg sync.WaitGroup
-	pprof.Do(context.Background(), pprof.Labels("sweep_phase", "partition"), func(context.Context) {
+	pprof.Do(context.Background(), pprof.Labels("sweep_phase", "partition", "kernel", kern), func(context.Context) {
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(home int) {
@@ -411,8 +430,8 @@ func Run(model TiledPredictor, fleet *Fleet, failHours []int, cfg Config) (*Resu
 		}
 		wg.Wait()
 	})
-	res := &Result{Outcomes: out, Shards: make([]Stats, len(fleet.shards))}
-	pprof.Do(context.Background(), pprof.Labels("sweep_phase", "alarm-merge"), func(context.Context) {
+	res := &Result{Outcomes: out, Shards: make([]Stats, len(fleet.shards)), Kernel: kern}
+	pprof.Do(context.Background(), pprof.Labels("sweep_phase", "alarm-merge", "kernel", kern), func(context.Context) {
 		for i, s := range fleet.shards {
 			res.Shards[i] = s.stats.snapshot()
 			res.Total.add(res.Shards[i])

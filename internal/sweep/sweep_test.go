@@ -75,13 +75,6 @@ func sweepFixture(t testing.TB, seed int64, drives, maxSamples int) (*cart.Binne
 	return bt, bm, series, binned, failHours
 }
 
-// noSteals zeroes the one nondeterministic Stats field so snapshots can
-// be compared across worker counts.
-func noSteals(s Stats) Stats {
-	s.Steals = 0
-	return s
-}
-
 // TestSweepMatchesDirectScan is the engine's correctness anchor: for
 // both detector families and either preparation path, sweep outcomes
 // must equal the per-drive direct scan's, drive for drive.
@@ -149,18 +142,18 @@ func TestSweepDeterminismMatrix(t *testing.T) {
 			}
 			if refOut == nil {
 				refOut = res.Outcomes
-				refTotal = noSteals(res.Total)
+				refTotal = res.Total.Canon()
 			}
 			if !reflect.DeepEqual(res.Outcomes, refOut) {
 				t.Fatalf("shards=%d workers=%d: outcomes diverged from reference", shards, workers)
 			}
-			if noSteals(res.Total) != refTotal {
+			if res.Total.Canon() != refTotal {
 				t.Fatalf("shards=%d workers=%d: total stats %+v, want %+v",
-					shards, workers, noSteals(res.Total), refTotal)
+					shards, workers, res.Total.Canon(), refTotal)
 			}
 			snap := make([]Stats, len(res.Shards))
 			for i, s := range res.Shards {
-				snap[i] = noSteals(s)
+				snap[i] = s.Canon()
 			}
 			if refShards == nil {
 				refShards = snap
@@ -329,7 +322,7 @@ func TestFleetReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(again.Outcomes, first.Outcomes) || noSteals(again.Total) != noSteals(first.Total) {
+	if !reflect.DeepEqual(again.Outcomes, first.Outcomes) || again.Total.Canon() != first.Total.Canon() {
 		t.Fatal("repeat Run on a reused Fleet diverged from the first")
 	}
 }
